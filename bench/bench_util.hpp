@@ -1,0 +1,80 @@
+// Shared helpers for the figure/table reproduction harness.
+//
+// Every binary in bench/ regenerates one table or figure from the paper:
+// it prints a header naming the experiment and the paper's claim, the
+// data series (as a fixed-width table and/or ASCII scatter), and a SHAPE
+// CHECK section stating whether the reproduced trend matches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/ascii_plot.hpp"
+#include "analysis/summary.hpp"
+#include "analysis/table.hpp"
+#include "core/explicit_baseline.hpp"
+#include "core/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================="
+              "=========\n\n");
+}
+
+inline void shape_check(bool ok, const std::string& statement) {
+  std::printf("SHAPE CHECK [%s] %s\n", ok ? "ok" : "MISMATCH",
+              statement.c_str());
+}
+
+/// The seven-workload roster of Tables 2 and 3, sized to run in seconds.
+struct RosterEntry {
+  std::string label;
+  WorkloadSpec spec;
+};
+
+inline std::vector<RosterEntry> paper_roster() {
+  std::vector<RosterEntry> roster;
+  roster.push_back({"Regular", make_regular(96ULL << 20, 4, 320, 2)});
+  roster.push_back({"Random", make_random(192ULL << 20, 0x5eed, 4, 320, 64)});
+  {
+    GemmParams p;
+    p.n = 1024;
+    roster.push_back({"sgemm", make_gemm(p)});
+  }
+  roster.push_back({"stream", make_stream_triad(1 << 20)});
+  roster.push_back({"cufft", make_fft(1 << 22)});
+  {
+    GaussSeidelParams p;
+    p.nx = 2048;
+    p.ny = 1024;
+    roster.push_back({"gauss-seidel", make_gauss_seidel(p)});
+  }
+  {
+    HpgmgParams p;
+    p.fine_elements_log2 = 20;
+    p.levels = 4;
+    p.vcycles = 1;
+    roster.push_back({"hpgmg", make_hpgmg(p)});
+  }
+  return roster;
+}
+
+inline RunResult run_once(const WorkloadSpec& spec, SystemConfig config) {
+  System system(config);
+  return system.run(spec);
+}
+
+inline SystemConfig no_prefetch(SystemConfig config) {
+  config.driver.prefetch_enabled = false;
+  config.driver.big_page_promotion = false;
+  return config;
+}
+
+}  // namespace uvmsim::bench

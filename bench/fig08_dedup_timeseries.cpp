@@ -1,0 +1,90 @@
+// Figure 8: batch sizes in time series for stream and sgemm — raw fault
+// counts (upper) vs counts with duplicates removed (lower). The workload
+// is application-driven and duplicates are a significant slice.
+#include "bench_util.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+namespace {
+
+void profile(const std::string& label, const WorkloadSpec& spec,
+             const SystemConfig& cfg, double* dup_share,
+             double* phase_variation, double* type2_share) {
+  const auto result = run_once(spec, cfg);
+
+  ScatterPlot plot("batch id", "faults per batch", 72, 16);
+  for (const auto& rec : result.log) {
+    plot.add(rec.id, rec.counters.raw_faults, 0);        // '.' raw
+    plot.add(rec.id, rec.counters.unique_faults, 4);     // '*' deduped
+  }
+  std::printf("%s ('.' = raw, '*' = deduplicated):\n%s\n", label.c_str(),
+              plot.render().c_str());
+
+  const auto totals = fault_totals(result.log);
+  *dup_share = 1.0 - static_cast<double>(totals.unique) /
+                         static_cast<double>(totals.raw);
+  const std::uint64_t dups = totals.dup_same_utlb + totals.dup_cross_utlb;
+  *type2_share = dups ? static_cast<double>(totals.dup_cross_utlb) /
+                            static_cast<double>(dups)
+                      : 0.0;
+  std::printf("  %s: %llu raw, %llu unique -> %.1f%% duplicates "
+              "(type1 %llu, type2 %llu) over %zu batches\n\n",
+              label.c_str(), static_cast<unsigned long long>(totals.raw),
+              static_cast<unsigned long long>(totals.unique),
+              *dup_share * 100.0,
+              static_cast<unsigned long long>(totals.dup_same_utlb),
+              static_cast<unsigned long long>(totals.dup_cross_utlb),
+              result.log.size());
+
+  // "Phases" metric: lag-1 autocorrelation of the steady-state batch-size
+  // series. sgemm's k-panel phases make neighbouring batches similar
+  // (positive autocorrelation); stream's frontier noise is uncorrelated.
+  std::vector<double> sizes;
+  for (std::size_t i = 5; i < result.log.size(); ++i) {
+    sizes.push_back(result.log[i].counters.raw_faults);
+  }
+  *phase_variation = 0;
+  if (sizes.size() > 3) {
+    RunningStats all;
+    for (const double s : sizes) all.add(s);
+    double cov = 0;
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      cov += (sizes[i] - all.mean()) * (sizes[i - 1] - all.mean());
+    }
+    cov /= static_cast<double>(sizes.size() - 1);
+    *phase_variation = all.variance() > 0 ? cov / all.variance() : 0;
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 8: raw vs deduplicated batch sizes (stream, sgemm)",
+               "dedup significantly shrinks batches for both; sgemm shows "
+               "phases while stream is steady");
+
+  SystemConfig cfg = no_prefetch(presets::scaled_titan_v(512));
+
+  double stream_dups = 0, stream_var = 0, stream_type2 = 0;
+  profile("stream", make_stream_triad(1 << 20), cfg, &stream_dups,
+          &stream_var, &stream_type2);
+
+  GemmParams p;
+  p.n = 1024;
+  double sgemm_dups = 0, sgemm_var = 0, sgemm_type2 = 0;
+  profile("sgemm", make_gemm(p), cfg, &sgemm_dups, &sgemm_var, &sgemm_type2);
+
+  std::printf("lag-1 autocorrelation of batch sizes: stream %.2f, "
+              "sgemm %.2f\n\n",
+              stream_var, sgemm_var);
+
+  shape_check(stream_dups > 0.10 && sgemm_dups > 0.10,
+              "duplicates are a significant share of both workloads' "
+              "batches");
+  shape_check(sgemm_type2 > 0.5 && stream_type2 < 0.2,
+              "sgemm's duplicates are dominated by type-2 (cross-block "
+              "panel sharing) while stream's are type-1 only — the "
+              "application-driven non-uniformity the figure shows");
+  return 0;
+}

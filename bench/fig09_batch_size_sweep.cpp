@@ -1,0 +1,86 @@
+// Figure 9: batch-size evaluation. Larger batch sizes win — each replay
+// window supplies more serviceable faults than a 256-entry batch can
+// drain, so small caps force extra batch rounds (fixed overhead + replay
+// each) — with diminishing returns once the cap exceeds what fault
+// generation can supply per window (paper: ~500 unique; "batch sizes up
+// to 6144 are tested but performance does not change" past 1024).
+//
+// The sweep uses the Regular workload, whose per-window unique-fault
+// supply (80 SMs x tokens + reissues) exceeds the default cap the same
+// way the paper's sgemm did on real hardware. A second panel shows the
+// duplicate-rate side of the tradeoff on sgemm, whose panel sharing makes
+// duplicates dominate large batches (§4.2: accepting more duplicates is
+// still cheaper than paying for extra batches).
+#include "bench_util.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+int main() {
+  print_header("Figure 9: batch size vs performance",
+               "larger batches amortize per-batch overhead despite more "
+               "duplicates; returns diminish past ~1024 (unique faults "
+               "per window are generation-capped)");
+
+  const auto spec = make_regular(256ULL << 20, 4, 320, 2);
+
+  TablePrinter table({"batch size", "kernel(ms)", "batches",
+                      "mean raw/batch", "mean unique/batch", "dup rate"});
+  std::vector<std::uint32_t> sizes{64, 128, 256, 512, 1024, 2048, 4096, 6144};
+  std::vector<double> kernel_ms;
+  std::vector<double> unique_means;
+  for (const std::uint32_t size : sizes) {
+    SystemConfig cfg = no_prefetch(presets::scaled_titan_v(512));
+    cfg.driver.batch_size = size;
+    const auto result = run_once(spec, cfg);
+    const auto totals = fault_totals(result.log);
+    const double raw_mean = static_cast<double>(totals.raw) /
+                            static_cast<double>(result.log.size());
+    const double unique_mean = static_cast<double>(totals.unique) /
+                               static_cast<double>(result.log.size());
+    const double dup_rate =
+        1.0 - static_cast<double>(totals.unique) /
+                  static_cast<double>(totals.raw);
+    table.add_row({std::to_string(size),
+                   fmt(result.kernel_time_ns / 1e6, 2),
+                   std::to_string(result.log.size()), fmt(raw_mean, 1),
+                   fmt(unique_mean, 1), fmt_pct(dup_rate)});
+    kernel_ms.push_back(result.kernel_time_ns / 1e6);
+    unique_means.push_back(unique_mean);
+  }
+  std::printf("regular (supply-bound sweep):\n%s\n", table.render().c_str());
+
+  // Duplicate-rate panel: sgemm's shared panels flood large batches with
+  // cross-uTLB duplicates.
+  GemmParams p;
+  p.n = 1024;
+  TablePrinter dup_table({"batch size", "sgemm dup rate", "batches"});
+  for (const std::uint32_t size : {256u, 1024u, 4096u}) {
+    SystemConfig cfg = no_prefetch(presets::scaled_titan_v(512));
+    cfg.driver.batch_size = size;
+    const auto result = run_once(make_gemm(p), cfg);
+    const auto totals = fault_totals(result.log);
+    dup_table.add_row({std::to_string(size),
+                       fmt_pct(1.0 - static_cast<double>(totals.unique) /
+                                         static_cast<double>(totals.raw)),
+                       std::to_string(result.log.size())});
+  }
+  std::printf("sgemm (duplicate-rate tradeoff):\n%s\n",
+              dup_table.render().c_str());
+
+  // Index 2 = 256 (default), 4 = 1024, 7 = 6144.
+  shape_check(kernel_ms[4] < kernel_ms[2],
+              "1024-fault batches beat the 256 default");
+  shape_check(kernel_ms[2] < kernel_ms[0],
+              "the 256 default beats tiny 64-fault batches");
+  const double tail_change =
+      std::abs(kernel_ms[7] - kernel_ms[4]) / kernel_ms[4];
+  shape_check(tail_change < 0.15,
+              "performance is flat (<15% change) from 1024 to 6144 "
+              "(paper: 'performance does not change')");
+  shape_check(unique_means[7] > unique_means[2] &&
+                  unique_means[7] < 1200.0,
+              "unique faults per batch grow then saturate near the "
+              "generation cap (paper: on the order of 500)");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 14: sgemm batch profiles with prefetching enabled. Prefetching
+// removes the bulk of mid-range batches (93% fewer in the paper); the
+// remaining high-cost outliers are first-touch batches dominated by DMA
+// mapping + radix-tree state initialization (up to ~64% of batch time).
+#include "bench_util.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+int main() {
+  print_header("Figure 14: sgemm batch profiles with prefetching",
+               "prefetch eliminates most batches; surviving outliers spend "
+               "a large share of their time creating DMA mappings / radix "
+               "state, which prefetching cannot remove");
+
+  GemmParams p;
+  p.n = 1024;
+  const auto spec = make_gemm(p);
+
+  const auto off = run_once(spec, no_prefetch(presets::scaled_titan_v(512)));
+  const auto on = run_once(spec, presets::scaled_titan_v(512));
+
+  const double reduction =
+      1.0 - static_cast<double>(on.log.size()) /
+                static_cast<double>(off.log.size());
+
+  ScatterPlot plot("data migrated (KB)", "batch time (us)", 72, 20);
+  double max_dma_frac = 0;
+  std::uint32_t first_touch_batches = 0;
+  for (const auto& rec : on.log) {
+    const unsigned series = rec.counters.first_touch_vablocks > 0 ? 4 : 0;
+    plot.add(static_cast<double>(rec.counters.bytes_h2d) / 1024.0,
+             static_cast<double>(rec.duration_ns()) / 1000.0, series);
+    max_dma_frac = std::max(max_dma_frac, rec.dma_fraction());
+    if (rec.counters.first_touch_vablocks > 0) ++first_touch_batches;
+  }
+  std::printf("prefetch-on batches ('*' = first-touch DMA batches):\n%s\n",
+              plot.render().c_str());
+
+  TablePrinter table({"metric", "no prefetch", "prefetch"});
+  table.add_row({"batches", std::to_string(off.log.size()),
+                 std::to_string(on.log.size())});
+  table.add_row({"kernel time (ms)", fmt(off.kernel_time_ns / 1e6, 2),
+                 fmt(on.kernel_time_ns / 1e6, 2)});
+  table.add_row({"pages prefetched", "0",
+                 std::to_string([&] {
+                   std::uint64_t total = 0;
+                   for (const auto& rec : on.log) {
+                     total += rec.counters.pages_prefetched;
+                   }
+                   return total;
+                 }())});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("batch reduction from prefetching: %.1f%% (paper: 93%%)\n",
+              reduction * 100.0);
+  std::printf("max DMA/radix share of a batch: %.1f%% (paper: up to 64%%)\n",
+              max_dma_frac * 100.0);
+  std::printf("first-touch DMA batches remaining: %u (compulsory — "
+              "prefetch cannot remove them)\n\n",
+              first_touch_batches);
+
+  // Threshold ablation (DESIGN.md §6).
+  TablePrinter ablation({"prefetch threshold", "batches", "kernel(ms)",
+                         "pages prefetched"});
+  for (const double threshold : {0.26, 0.51, 0.76}) {
+    SystemConfig cfg = presets::scaled_titan_v(512);
+    cfg.driver.prefetch_threshold = threshold;
+    const auto result = run_once(spec, cfg);
+    std::uint64_t prefetched = 0;
+    for (const auto& rec : result.log) {
+      prefetched += rec.counters.pages_prefetched;
+    }
+    ablation.add_row({fmt(threshold, 2), std::to_string(result.log.size()),
+                      fmt(result.kernel_time_ns / 1e6, 2),
+                      std::to_string(prefetched)});
+  }
+  std::printf("threshold ablation:\n%s\n", ablation.render().c_str());
+
+  shape_check(reduction >= 0.60,
+              "prefetching removes the large majority of batches "
+              "(paper: 93% on the testbed)");
+  shape_check(max_dma_frac >= 0.30,
+              "surviving outlier batches are dominated by DMA/radix state "
+              "setup (paper: up to 64%)");
+  shape_check(on.kernel_time_ns < off.kernel_time_ns,
+              "prefetching improves end-to-end time");
+  return 0;
+}

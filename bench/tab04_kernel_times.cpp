@@ -1,0 +1,81 @@
+// Table 4: aggregate batch and kernel execution times for Gauss-Seidel
+// and HPGMG under modest oversubscription, with prefetching on and off.
+// Paper: prefetching improves kernel time 3.39x (Gauss-Seidel) and 2.72x
+// (HPGMG); batch time is always below kernel time.
+#include "bench_util.hpp"
+
+using namespace uvmsim;
+using namespace uvmsim::bench;
+
+namespace {
+
+struct CaseResult {
+  RunResult off;
+  RunResult on;
+};
+
+CaseResult run_case(const WorkloadSpec& spec, std::uint64_t gpu_mb) {
+  CaseResult out;
+  out.off = run_once(spec, no_prefetch(presets::scaled_titan_v(gpu_mb)));
+  out.on = run_once(spec, presets::scaled_titan_v(gpu_mb));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table 4: batch and kernel times, prefetch off/on "
+               "(oversubscribed)",
+               "prefetching speeds up oversubscribed kernels severalfold "
+               "(paper: 3.39x gauss-seidel, 2.72x hpgmg); batch time < "
+               "kernel time in every configuration");
+
+  GaussSeidelParams gs;
+  gs.nx = 2048;
+  gs.ny = 1408;  // 44 MB working set vs 38 MB GPU (~116%)
+  gs.sweeps = 2;
+  const auto gs_result = run_case(make_gauss_seidel(gs), 38);
+
+  HpgmgParams hp;
+  hp.fine_elements_log2 = 21;
+  hp.levels = 4;
+  hp.vcycles = 2;  // ~40 MB vs 32 MB GPU (~125%)
+  const auto hp_result = run_case(make_hpgmg(hp), 32);
+
+  TablePrinter table({"benchmark", "no-pf batch(ms)", "no-pf kernel(ms)",
+                      "pf batch(ms)", "pf kernel(ms)", "kernel speedup",
+                      "paper speedup"});
+  const auto row = [&](const std::string& name, const CaseResult& r,
+                       double paper) {
+    const double speedup = static_cast<double>(r.off.kernel_time_ns) /
+                           static_cast<double>(r.on.kernel_time_ns);
+    table.add_row({name, fmt(r.off.batch_time_ns / 1e6, 2),
+                   fmt(r.off.kernel_time_ns / 1e6, 2),
+                   fmt(r.on.batch_time_ns / 1e6, 2),
+                   fmt(r.on.kernel_time_ns / 1e6, 2),
+                   fmt(speedup, 2) + "x", fmt(paper, 2) + "x"});
+    return speedup;
+  };
+  const double gs_speedup = row("Gauss-Seidel", gs_result, 3.39);
+  const double hp_speedup = row("HPGMG", hp_result, 2.72);
+  std::printf("%s\n", table.render().c_str());
+
+  shape_check(gs_speedup > 1.5 && hp_speedup > 1.5,
+              "prefetching delivers a multi-fold kernel speedup under "
+              "modest oversubscription");
+  shape_check(gs_speedup >= 2.0 && gs_speedup <= 3.0 * 3.39 &&
+                  hp_speedup >= 2.0,
+              "speedups are multi-fold, the same direction and order as "
+              "the paper's 3.39x / 2.72x (the 4 KB no-prefetch baseline "
+              "is relatively slower in the model; see EXPERIMENTS.md)");
+  const bool batch_below_kernel =
+      gs_result.off.batch_time_ns < gs_result.off.kernel_time_ns &&
+      gs_result.on.batch_time_ns < gs_result.on.kernel_time_ns &&
+      hp_result.off.batch_time_ns < hp_result.off.kernel_time_ns &&
+      hp_result.on.batch_time_ns < hp_result.on.kernel_time_ns;
+  shape_check(batch_below_kernel,
+              "aggregate batch time is below kernel time in all four "
+              "configurations (interrupts + in-memory GPU work make up "
+              "the difference)");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Multi-GPU contention demo: two clients with different workload
+// characters share the driver worker; the latency-sensitive client pays
+// for the heavy one's batches.
+//
+//   $ ./examples/multi_gpu_contention
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/multi_client.hpp"
+
+int main() {
+  using namespace uvmsim;
+
+  // Client 0: small, latency-sensitive vecadd. Client 1: fault-heavy fft.
+  const auto light = make_vecadd_coalesced(1 << 14);
+  const auto heavy = make_fft(1 << 20);
+
+  MultiClientSystem solo(presets::scaled_titan_v(256), 1);
+  const auto alone = solo.run({light});
+
+  MultiClientSystem pair(presets::scaled_titan_v(256), 2);
+  const auto contended = pair.run({light, heavy});
+
+  TablePrinter table({"scenario", "light kernel(ms)", "heavy kernel(ms)",
+                      "worker busy(ms)"});
+  table.add_row({"light alone",
+                 fmt(alone.per_client[0].kernel_time_ns / 1e6, 3), "-",
+                 fmt(alone.worker_busy_ns / 1e6, 3)});
+  table.add_row({"light + heavy",
+                 fmt(contended.per_client[0].kernel_time_ns / 1e6, 3),
+                 fmt(contended.per_client[1].kernel_time_ns / 1e6, 3),
+                 fmt(contended.worker_busy_ns / 1e6, 3)});
+  std::printf("%s\n", table.render().c_str());
+
+  const double inflation =
+      static_cast<double>(contended.per_client[0].kernel_time_ns) /
+      static_cast<double>(alone.per_client[0].kernel_time_ns);
+  std::printf("light client inflation from sharing the driver: %.2fx\n\n",
+              inflation);
+  std::printf("the paper's Section 6 warning, quantified: the UVM driver "
+              "is one serial worker for all clients, so a neighbouring "
+              "device's fault storm delays everyone (and the same applies "
+              "to HMM backends).\n");
+  return 0;
+}

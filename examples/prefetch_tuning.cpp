@@ -1,0 +1,70 @@
+// Prefetch tuning: explore the driver's prefetch policy space (on/off,
+// density threshold, big-page promotion) for a chosen workload — the
+// knobs Section 5.2 analyzes, exposed as a what-if tool.
+//
+//   $ ./examples/prefetch_tuning
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+uvmsim::RunResult run_config(const uvmsim::WorkloadSpec& spec,
+                             bool prefetch, double threshold,
+                             bool promotion) {
+  uvmsim::SystemConfig cfg = uvmsim::presets::scaled_titan_v(256);
+  cfg.driver.prefetch_enabled = prefetch;
+  cfg.driver.prefetch_threshold = threshold;
+  cfg.driver.big_page_promotion = promotion;
+  uvmsim::System system(cfg);
+  return system.run(spec);
+}
+
+}  // namespace
+
+int main() {
+  using namespace uvmsim;
+
+  GemmParams params;
+  params.n = 1024;
+  const auto spec = make_gemm(params);
+  std::printf("workload: %s (n=%u)\n\n", spec.name.c_str(), params.n);
+
+  TablePrinter table({"prefetch", "threshold", "64K promo", "kernel(ms)",
+                      "batches", "pages prefetched", "bytes H2D(MB)"});
+
+  struct Config {
+    bool prefetch;
+    double threshold;
+    bool promotion;
+  };
+  const Config configs[] = {
+      {false, 0.51, false},  // baseline: 4 KB demand paging
+      {false, 0.51, true},   // promotion only
+      {true, 0.26, true},    // aggressive density
+      {true, 0.51, true},    // driver default
+      {true, 0.76, true},    // conservative density
+      {true, 0.51, false},   // tree without promotion
+  };
+  for (const auto& c : configs) {
+    const auto result = run_config(spec, c.prefetch, c.threshold, c.promotion);
+    std::uint64_t prefetched = 0;
+    for (const auto& rec : result.log) {
+      prefetched += rec.counters.pages_prefetched;
+    }
+    table.add_row({c.prefetch ? "on" : "off", fmt(c.threshold, 2),
+                   c.promotion ? "on" : "off",
+                   fmt(result.kernel_time_ns / 1e6, 2),
+                   std::to_string(result.log.size()),
+                   std::to_string(prefetched),
+                   fmt(static_cast<double>(result.bytes_h2d) / (1 << 20), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("the tradeoff (Section 5.2): lower thresholds prefetch more "
+              "and eliminate more batches, at the cost of moving more "
+              "bytes; the win comes from removing per-batch overhead, not "
+              "from the transfers themselves.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: run the Listing-1 vector-addition microbenchmark through the
+// full UVM system and print the per-batch driver log — the simulator's
+// version of the paper's Figure 3 experiment.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "core/system.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace uvmsim;
+
+  SystemConfig config = presets::titan_v();
+  config.driver.prefetch_enabled = false;  // observe raw fault behaviour
+  System system(config);
+
+  const WorkloadSpec spec = make_vecadd_paged();
+  const RunResult result = system.run(spec);
+
+  std::printf("workload: %s\n", spec.name.c_str());
+  std::printf("kernel time: %.2f us over %zu batches, %llu faults "
+              "(%llu duplicate emissions), %llu replays\n\n",
+              result.kernel_time_ns / 1000.0, result.log.size(),
+              static_cast<unsigned long long>(result.total_faults),
+              static_cast<unsigned long long>(result.duplicate_emissions),
+              static_cast<unsigned long long>(result.replays));
+
+  TablePrinter table({"batch", "t_start(us)", "dur(us)", "raw", "unique",
+                      "reads", "writes", "migrated", "populated", "bytes_h2d"});
+  for (const auto& rec : result.log) {
+    table.add_row({std::to_string(rec.id), fmt_us(rec.start_ns),
+                   fmt_us(rec.duration_ns()),
+                   std::to_string(rec.counters.raw_faults),
+                   std::to_string(rec.counters.unique_faults),
+                   std::to_string(rec.counters.read_faults),
+                   std::to_string(rec.counters.write_faults),
+                   std::to_string(rec.counters.pages_migrated),
+                   std::to_string(rec.counters.pages_populated),
+                   std::to_string(rec.counters.bytes_h2d)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("expected shape (paper Fig 3): first batch capped at 56 "
+              "faults by the uTLB limit; writes to c never precede their "
+              "statement's reads; later batches small due to the per-SM "
+              "fault-rate throttle.\n");
+  return 0;
+}

@@ -1,0 +1,229 @@
+#include "analysis/log_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace uvmsim {
+namespace {
+
+void append_u64(std::string& out, std::string_view key, std::uint64_t value) {
+  out += ' ';
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+}
+
+template <typename T>
+void append_list(std::string& out, std::string_view key,
+                 const std::vector<T>& values, const auto& format) {
+  if (values.empty()) return;
+  out += ' ';
+  out += key;
+  out += '=';
+  bool first = true;
+  for (const auto& v : values) {
+    if (!first) out += ',';
+    first = false;
+    out += format(v);
+  }
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& value) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+/// Split "a,b,c" and invoke `sink` per element; false on any parse error.
+bool parse_list(std::string_view text, const auto& sink) {
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string_view item = text.substr(0, comma);
+    if (!sink(item)) return false;
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_batch(const BatchRecord& record) {
+  std::string out = "batch";
+  append_u64(out, "id", record.id);
+  append_u64(out, "start", record.start_ns);
+  append_u64(out, "end", record.end_ns);
+
+  const auto& p = record.phases;
+  append_u64(out, "fetch", p.fetch_ns);
+  append_u64(out, "dedup", p.dedup_ns);
+  append_u64(out, "vablock", p.vablock_ns);
+  append_u64(out, "eviction", p.eviction_ns);
+  append_u64(out, "unmap", p.unmap_ns);
+  append_u64(out, "populate", p.populate_ns);
+  append_u64(out, "dma", p.dma_map_ns);
+  append_u64(out, "prefetch", p.prefetch_ns);
+  append_u64(out, "transfer", p.transfer_ns);
+  append_u64(out, "pagetable", p.pagetable_ns);
+  append_u64(out, "replay", p.replay_ns);
+
+  const auto& c = record.counters;
+  append_u64(out, "raw", c.raw_faults);
+  append_u64(out, "uniq", c.unique_faults);
+  append_u64(out, "dup1", c.dup_same_utlb);
+  append_u64(out, "dup2", c.dup_cross_utlb);
+  append_u64(out, "reads", c.read_faults);
+  append_u64(out, "writes", c.write_faults);
+  append_u64(out, "prefaults", c.prefetch_faults);
+  append_u64(out, "vablocks", c.vablocks_touched);
+  append_u64(out, "firsttouch", c.first_touch_vablocks);
+  append_u64(out, "migrated", c.pages_migrated);
+  append_u64(out, "populated", c.pages_populated);
+  append_u64(out, "prefetched", c.pages_prefetched);
+  append_u64(out, "h2d", c.bytes_h2d);
+  append_u64(out, "d2h", c.bytes_d2h);
+  append_u64(out, "evictions", c.evictions);
+  append_u64(out, "unmaps", c.unmap_calls);
+  append_u64(out, "unmapped", c.pages_unmapped);
+  append_u64(out, "dmapages", c.dma_pages_mapped);
+  append_u64(out, "radixnodes", c.radix_nodes_allocated);
+  append_u64(out, "radixgrew", c.radix_grew ? 1 : 0);
+
+  append_list(out, "sm", record.faults_per_sm,
+              [](std::uint16_t v) { return std::to_string(v); });
+  append_list(out, "vabf", record.vablock_faults, [](const auto& pr) {
+    return std::to_string(pr.first) + ':' + std::to_string(pr.second);
+  });
+  append_list(out, "vabt", record.vablock_service_ns, [](const auto& pr) {
+    return std::to_string(pr.first) + ':' + std::to_string(pr.second);
+  });
+  append_list(out, "ft", record.first_touch_blocks,
+              [](VaBlockId v) { return std::to_string(v); });
+  append_list(out, "ev", record.evicted_blocks,
+              [](VaBlockId v) { return std::to_string(v); });
+  return out;
+}
+
+void write_batch_log(std::ostream& out, const BatchLog& log) {
+  for (const auto& record : log) {
+    out << serialize_batch(record) << '\n';
+  }
+}
+
+bool parse_batch(const std::string& line, BatchRecord& record) {
+  std::istringstream tokens(line);
+  std::string tag;
+  tokens >> tag;
+  if (tag != "batch") return false;
+
+  BatchRecord parsed;
+  std::string token;
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string_view key = std::string_view(token).substr(0, eq);
+    const std::string_view value = std::string_view(token).substr(eq + 1);
+
+    const auto pair_sink = [&](auto& vec) {
+      return parse_list(value, [&](std::string_view item) {
+        const std::size_t colon = item.find(':');
+        if (colon == std::string_view::npos) return false;
+        std::uint64_t a = 0, b = 0;
+        if (!parse_u64(item.substr(0, colon), a) ||
+            !parse_u64(item.substr(colon + 1), b)) {
+          return false;
+        }
+        vec.emplace_back(a, static_cast<typename std::decay_t<
+                                decltype(vec)>::value_type::second_type>(b));
+        return true;
+      });
+    };
+
+    std::uint64_t u = 0;
+    bool ok = true;
+    if (key == "sm") {
+      ok = parse_list(value, [&](std::string_view item) {
+        std::uint64_t v = 0;
+        if (!parse_u64(item, v)) return false;
+        parsed.faults_per_sm.push_back(static_cast<std::uint16_t>(v));
+        return true;
+      });
+    } else if (key == "vabf") {
+      ok = pair_sink(parsed.vablock_faults);
+    } else if (key == "vabt") {
+      ok = pair_sink(parsed.vablock_service_ns);
+    } else if (key == "ft" || key == "ev") {
+      auto& vec = key == "ft" ? parsed.first_touch_blocks
+                              : parsed.evicted_blocks;
+      ok = parse_list(value, [&](std::string_view item) {
+        std::uint64_t v = 0;
+        if (!parse_u64(item, v)) return false;
+        vec.push_back(v);
+        return true;
+      });
+    } else if (parse_u64(value, u)) {
+      auto& p = parsed.phases;
+      auto& c = parsed.counters;
+      if (key == "id") parsed.id = static_cast<std::uint32_t>(u);
+      else if (key == "start") parsed.start_ns = u;
+      else if (key == "end") parsed.end_ns = u;
+      else if (key == "fetch") p.fetch_ns = u;
+      else if (key == "dedup") p.dedup_ns = u;
+      else if (key == "vablock") p.vablock_ns = u;
+      else if (key == "eviction") p.eviction_ns = u;
+      else if (key == "unmap") p.unmap_ns = u;
+      else if (key == "populate") p.populate_ns = u;
+      else if (key == "dma") p.dma_map_ns = u;
+      else if (key == "prefetch") p.prefetch_ns = u;
+      else if (key == "transfer") p.transfer_ns = u;
+      else if (key == "pagetable") p.pagetable_ns = u;
+      else if (key == "replay") p.replay_ns = u;
+      else if (key == "raw") c.raw_faults = static_cast<std::uint32_t>(u);
+      else if (key == "uniq") c.unique_faults = static_cast<std::uint32_t>(u);
+      else if (key == "dup1") c.dup_same_utlb = static_cast<std::uint32_t>(u);
+      else if (key == "dup2") c.dup_cross_utlb = static_cast<std::uint32_t>(u);
+      else if (key == "reads") c.read_faults = static_cast<std::uint32_t>(u);
+      else if (key == "writes") c.write_faults = static_cast<std::uint32_t>(u);
+      else if (key == "prefaults") c.prefetch_faults = static_cast<std::uint32_t>(u);
+      else if (key == "vablocks") c.vablocks_touched = static_cast<std::uint32_t>(u);
+      else if (key == "firsttouch") c.first_touch_vablocks = static_cast<std::uint32_t>(u);
+      else if (key == "migrated") c.pages_migrated = static_cast<std::uint32_t>(u);
+      else if (key == "populated") c.pages_populated = static_cast<std::uint32_t>(u);
+      else if (key == "prefetched") c.pages_prefetched = static_cast<std::uint32_t>(u);
+      else if (key == "h2d") c.bytes_h2d = u;
+      else if (key == "d2h") c.bytes_d2h = u;
+      else if (key == "evictions") c.evictions = static_cast<std::uint32_t>(u);
+      else if (key == "unmaps") c.unmap_calls = static_cast<std::uint32_t>(u);
+      else if (key == "unmapped") c.pages_unmapped = static_cast<std::uint32_t>(u);
+      else if (key == "dmapages") c.dma_pages_mapped = static_cast<std::uint32_t>(u);
+      else if (key == "radixnodes") c.radix_nodes_allocated = static_cast<std::uint32_t>(u);
+      else if (key == "radixgrew") c.radix_grew = u != 0;
+      // Unknown numeric keys are tolerated for forward compatibility.
+    } else {
+      return false;
+    }
+    if (!ok) return false;
+  }
+  record = std::move(parsed);
+  return true;
+}
+
+ParseResult read_batch_log(std::istream& in) {
+  ParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    BatchRecord record;
+    if (parse_batch(line, record)) {
+      result.log.push_back(std::move(record));
+    } else {
+      ++result.skipped_lines;
+    }
+  }
+  return result;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,32 @@
+// Batch-log serialization: the library's version of the authors' logging
+// tool ("a custom logging tool that is more reliable than dmesg").
+//
+// One line per batch, `key=value` pairs, stable across versions as long
+// as unknown keys are tolerated (the parser skips them). Detail vectors
+// are encoded as comma-separated lists. Round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "uvm/batch.hpp"
+
+namespace uvmsim {
+
+/// Write one batch as a single line (no trailing newline).
+std::string serialize_batch(const BatchRecord& record);
+
+/// Write the whole log, one line per batch.
+void write_batch_log(std::ostream& out, const BatchLog& log);
+
+/// Parse one line; returns false on malformed input (record untouched).
+bool parse_batch(const std::string& line, BatchRecord& record);
+
+/// Parse a whole stream; malformed lines are skipped and counted.
+struct ParseResult {
+  BatchLog log;
+  std::size_t skipped_lines = 0;
+};
+ParseResult read_batch_log(std::istream& in);
+
+}  // namespace uvmsim

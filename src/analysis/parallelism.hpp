@@ -1,0 +1,40 @@
+// What-if analysis for driver parallelization (paper Section 6).
+//
+// The paper concludes the driver is a serial bottleneck and weighs two
+// parallelization axes:
+//   * per-VABlock: "straightforward ... but our workload analysis shows
+//     this would create a very imbalanced workload" (Table 3 variance);
+//   * per-SM: "may be more reasonable if devices supported targeted per
+//     SM replay".
+// This module evaluates both against recorded batch logs: each batch's
+// independent work units (VABlock service times, or per-SM fault shares)
+// are assigned to k workers with LPT (longest-processing-time-first)
+// scheduling, and the resulting makespan is compared with serial
+// execution. Serial phase costs (fetch, dedup, replay) stay serial.
+#pragma once
+
+#include <cstdint>
+
+#include "uvm/batch.hpp"
+
+namespace uvmsim {
+
+struct ParallelEstimate {
+  double speedup = 1.0;          // serial time / parallel time, whole run
+  double mean_efficiency = 0.0;  // mean over batches of speedup_b / workers
+  double mean_imbalance = 0.0;   // mean over batches of makespan/ideal - 1
+  std::size_t batches = 0;
+};
+
+/// Speedup if each batch's VABlocks were serviced by `workers` threads.
+/// Requires vablock_service_ns detail in the log.
+ParallelEstimate estimate_vablock_parallel(const BatchLog& log,
+                                           unsigned workers);
+
+/// Speedup if each batch's parallelizable work were split by originating
+/// SM (requires per-SM counts; work per SM is apportioned from the
+/// batch's parallelizable time by fault share).
+ParallelEstimate estimate_per_sm_parallel(const BatchLog& log,
+                                          unsigned workers);
+
+}  // namespace uvmsim

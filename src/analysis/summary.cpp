@@ -1,0 +1,92 @@
+#include "analysis/summary.hpp"
+
+namespace uvmsim {
+
+SmStatsRow sm_stats(const BatchLog& log, std::uint32_t num_sms) {
+  RunningStats stats;
+  for (const auto& rec : log) {
+    stats.add(static_cast<double>(rec.counters.raw_faults) /
+              static_cast<double>(num_sms));
+  }
+  SmStatsRow row;
+  row.avg = stats.mean();
+  row.stddev = stats.stddev();
+  row.min = stats.min();
+  row.max = stats.max();
+  row.batches = stats.count();
+  return row;
+}
+
+VaBlockStatsRow vablock_stats(const BatchLog& log) {
+  RunningStats per_batch;
+  RunningStats per_block;
+  for (const auto& rec : log) {
+    per_batch.add(rec.counters.vablocks_touched);
+    for (const auto& [block, faults] : rec.vablock_faults) {
+      per_block.add(faults);
+    }
+  }
+  VaBlockStatsRow row;
+  row.vablocks_per_batch = per_batch.mean();
+  row.faults_per_vablock = per_block.mean();
+  row.stddev = per_block.stddev();
+  row.min = per_block.count()
+                ? static_cast<std::uint32_t>(per_block.min())
+                : 0;
+  row.max = per_block.count()
+                ? static_cast<std::uint32_t>(per_block.max())
+                : 0;
+  return row;
+}
+
+LinearFit cost_vs_migration_fit(const BatchLog& log) {
+  std::vector<double> kb;
+  std::vector<double> us;
+  kb.reserve(log.size());
+  us.reserve(log.size());
+  for (const auto& rec : log) {
+    kb.push_back(static_cast<double>(rec.counters.bytes_h2d) / 1024.0);
+    us.push_back(static_cast<double>(rec.duration_ns()) / 1000.0);
+  }
+  return linear_fit(kb, us);
+}
+
+std::vector<double> extract(
+    const BatchLog& log,
+    const std::function<double(const BatchRecord&)>& f) {
+  std::vector<double> out;
+  out.reserve(log.size());
+  for (const auto& rec : log) out.push_back(f(rec));
+  return out;
+}
+
+BatchPhaseTimes phase_totals(const BatchLog& log) {
+  BatchPhaseTimes total;
+  for (const auto& rec : log) {
+    total.fetch_ns += rec.phases.fetch_ns;
+    total.dedup_ns += rec.phases.dedup_ns;
+    total.vablock_ns += rec.phases.vablock_ns;
+    total.eviction_ns += rec.phases.eviction_ns;
+    total.unmap_ns += rec.phases.unmap_ns;
+    total.populate_ns += rec.phases.populate_ns;
+    total.dma_map_ns += rec.phases.dma_map_ns;
+    total.prefetch_ns += rec.phases.prefetch_ns;
+    total.transfer_ns += rec.phases.transfer_ns;
+    total.pagetable_ns += rec.phases.pagetable_ns;
+    total.replay_ns += rec.phases.replay_ns;
+  }
+  return total;
+}
+
+FaultTotals fault_totals(const BatchLog& log) {
+  FaultTotals totals;
+  for (const auto& rec : log) {
+    totals.raw += rec.counters.raw_faults;
+    totals.unique += rec.counters.unique_faults;
+    totals.dup_same_utlb += rec.counters.dup_same_utlb;
+    totals.dup_cross_utlb += rec.counters.dup_cross_utlb;
+  }
+  return totals;
+}
+
+}  // namespace uvmsim

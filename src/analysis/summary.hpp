@@ -1,0 +1,50 @@
+// Batch-log analytics: the reductions behind the paper's tables/figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "uvm/batch.hpp"
+
+namespace uvmsim {
+
+/// Table 2 row: per-batch faults averaged over all SMs (x_b = raw/num_sms),
+/// with stddev/min/max across batches.
+struct SmStatsRow {
+  double avg = 0, stddev = 0, min = 0, max = 0;
+  std::size_t batches = 0;
+};
+SmStatsRow sm_stats(const BatchLog& log, std::uint32_t num_sms);
+
+/// Table 3 row: mean VABlocks per batch, and faults-per-VABlock stats over
+/// every (batch, VABlock) pair.
+struct VaBlockStatsRow {
+  double vablocks_per_batch = 0;
+  double faults_per_vablock = 0;
+  double stddev = 0;
+  std::uint32_t min = 0, max = 0;
+};
+VaBlockStatsRow vablock_stats(const BatchLog& log);
+
+/// Fig 6: least-squares fit of batch duration (us) vs data migrated (KB).
+LinearFit cost_vs_migration_fit(const BatchLog& log);
+
+/// Pull one scalar per batch (for time series / scatter extraction).
+std::vector<double> extract(const BatchLog& log,
+                            const std::function<double(const BatchRecord&)>& f);
+
+/// Aggregate phase times over the whole log.
+BatchPhaseTimes phase_totals(const BatchLog& log);
+
+/// Total unique / raw faults over the log.
+struct FaultTotals {
+  std::uint64_t raw = 0;
+  std::uint64_t unique = 0;
+  std::uint64_t dup_same_utlb = 0;
+  std::uint64_t dup_cross_utlb = 0;
+};
+FaultTotals fault_totals(const BatchLog& log);
+
+}  // namespace uvmsim

@@ -1,0 +1,79 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace uvmsim {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells, std::string& out) {
+    out += "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (looks_numeric(cells[c])) {
+        out += std::string(pad, ' ') + cells[c];
+      } else {
+        out += cells[c] + std::string(pad, ' ');
+      }
+      out += " | ";
+      if (c + 1 == cells.size()) out.pop_back();
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  emit_row(headers_, out);
+  out += "|";
+  for (const std::size_t w : widths) out += std::string(w + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_us(std::uint64_t ns) {
+  return fmt(static_cast<double>(ns) / 1000.0, 2);
+}
+
+std::string fmt_pct(double fraction) {
+  return fmt(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,32 @@
+// Fixed-width table rendering for bench/table output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uvmsim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header separator; columns auto-sized, right-aligned
+  /// for numeric-looking cells and left-aligned otherwise.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used across benches.
+std::string fmt(double value, int precision = 2);
+std::string fmt_us(std::uint64_t ns);  // nanoseconds -> "123.45" us
+std::string fmt_pct(double fraction);  // 0.25 -> "25.0%"
+
+}  // namespace uvmsim

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace uvmsim {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kOff:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[uvmsim %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,33 @@
+// Minimal leveled logger.
+//
+// The real study logged driver batch records through a custom tool "more
+// reliable than dmesg"; our BatchLog plays that role. This logger is only
+// for optional human-readable tracing (examples/driver_trace uses it) and
+// is fully silent at the default level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace uvmsim {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Process-wide log level; defaults to kOff so library users pay nothing.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace uvmsim
+
+#define UVMSIM_LOG(level, expr)                              \
+  do {                                                       \
+    if (static_cast<int>(::uvmsim::log_level()) >=           \
+        static_cast<int>(level)) {                           \
+      std::ostringstream uvmsim_log_oss;                     \
+      uvmsim_log_oss << expr;                                \
+      ::uvmsim::log_line(level, uvmsim_log_oss.str());       \
+    }                                                        \
+  } while (0)

@@ -1,0 +1,82 @@
+// Streaming statistics, percentiles, histograms, and least-squares fits.
+//
+// All the paper's tables report (mean, stddev, min, max) over per-batch
+// quantities, and Figure 6 fits batch cost against migrated bytes; this
+// module provides exactly those reductions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace uvmsim {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel-reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;       // coefficient of determination
+  std::size_t n = 0;
+};
+
+/// Fit y = a*x + b over paired samples. Sizes must match; n >= 2 required
+/// for a meaningful fit (degenerate inputs return a zero fit).
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// q-th percentile (q in [0,1]) using linear interpolation between order
+/// statistics. Copies and sorts internally; empty input yields 0.
+double percentile(std::vector<double> values, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow
+/// accounting. Used by batch-profile benches for distribution summaries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,55 @@
+// Core scalar types and memory-geometry constants shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uvmsim {
+
+/// Simulated time in nanoseconds. The simulation is single-threaded and
+/// deterministic; SimTime only ever moves forward.
+using SimTime = std::uint64_t;
+
+/// Global page index within the managed virtual address space (4 KB units).
+using PageId = std::uint64_t;
+
+/// Index of a 2 MB Virtual Address Block within the managed space.
+using VaBlockId = std::uint64_t;
+
+/// Identifier of a managed allocation returned by the VA space.
+using AllocId = std::uint32_t;
+
+inline constexpr std::uint64_t kPageSize = 4096;           // x86 base page
+inline constexpr std::uint64_t kBigPageSize = 64 * 1024;   // UVM promotion unit
+inline constexpr std::uint64_t kVaBlockSize = 2 * 1024 * 1024;
+inline constexpr std::uint32_t kPagesPerVaBlock =
+    static_cast<std::uint32_t>(kVaBlockSize / kPageSize);  // 512
+inline constexpr std::uint32_t kPagesPerBigPage =
+    static_cast<std::uint32_t>(kBigPageSize / kPageSize);  // 16
+inline constexpr std::uint32_t kBigPagesPerVaBlock =
+    static_cast<std::uint32_t>(kVaBlockSize / kBigPageSize);  // 32
+
+/// Kind of memory access a GPU thread performs.
+enum class AccessType : std::uint8_t {
+  kRead,
+  kWrite,
+  kPrefetch,  // prefetch.global.L2-style access: no scoreboard, no throttle
+};
+
+constexpr VaBlockId va_block_of(PageId page) noexcept {
+  return page / kPagesPerVaBlock;
+}
+
+constexpr std::uint32_t page_index_in_block(PageId page) noexcept {
+  return static_cast<std::uint32_t>(page % kPagesPerVaBlock);
+}
+
+constexpr PageId first_page_of(VaBlockId block) noexcept {
+  return block * kPagesPerVaBlock;
+}
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,133 @@
+#include "core/multi_client.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace uvmsim {
+
+MultiClientSystem::MultiClientSystem(SystemConfig config,
+                                     std::uint32_t num_clients)
+    : config_(config) {
+  clients_.reserve(num_clients);
+  for (std::uint32_t i = 0; i < num_clients; ++i) {
+    clients_.push_back(
+        std::make_unique<Client>(config_, config_.seed + 0x9E37 * (i + 1)));
+  }
+}
+
+MultiClientResult MultiClientSystem::run(
+    const std::vector<WorkloadSpec>& specs) {
+  if (specs.size() != clients_.size()) {
+    throw std::invalid_argument(
+        "MultiClientSystem::run: one WorkloadSpec per client required");
+  }
+
+  MultiClientResult result;
+  result.per_client.resize(clients_.size());
+
+  // Allocate and launch everything at t = 0.
+  SimTime now = 0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& c = *clients_[i];
+    const PageId base = c.driver.va_space().total_pages();
+    for (const auto& alloc : specs[i].allocs) {
+      c.driver.managed_alloc(alloc.bytes, alloc.name, alloc.init,
+                             alloc.advise);
+    }
+    c.gpu.launch(specs[i].kernel, base);
+    const auto gen = c.gpu.generate(now, c.driver);
+    c.compute_ns += gen.compute_ns +
+                    gen.remote_requests *
+                        config_.gpu.remote_request_pipelined_ns;
+  }
+
+  const std::uint64_t max_batches = 4'000'000;
+  std::uint64_t batches = 0;
+
+  for (;;) {
+    // Pick the client whose earliest arrived-or-pending fault is oldest;
+    // the single worker serves clients in interrupt order.
+    std::size_t next = clients_.size();
+    SimTime next_arrival = std::numeric_limits<SimTime>::max();
+    bool all_done = true;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      Client& c = *clients_[i];
+      if (client_finished(c)) {
+        if (!c.done) {
+          c.done = true;
+          c.done_at = now;
+        }
+        continue;
+      }
+      all_done = false;
+      if (c.gpu.fault_buffer().empty()) {
+        // Throttle-timer recovery, as in System::run.
+        c.gpu.force_token_refill();
+        c.gpu.on_replay();
+        const auto gen = c.gpu.generate(now, c.driver);
+        c.compute_ns += gen.compute_ns;
+        if (c.gpu.fault_buffer().empty()) {
+          if (client_finished(c)) continue;
+          throw std::logic_error("uvmsim: multi-client fault wedge");
+        }
+      }
+      const SimTime arrival = *c.gpu.fault_buffer().next_arrival();
+      if (arrival < next_arrival) {
+        next_arrival = arrival;
+        next = i;
+      }
+    }
+    if (all_done) break;
+    if (next == clients_.size()) continue;  // re-evaluate after recovery
+
+    Client& c = *clients_[next];
+    now = std::max(now, next_arrival) +
+          c.driver.pcie().config().interrupt_latency_ns +
+          c.driver.config().wakeup_ns;
+
+    // Service this client's arrived batches; other clients' faults queue.
+    for (;;) {
+      auto raw = c.gpu.fault_buffer().drain_arrived(
+          c.driver.effective_batch_size(), now);
+      if (raw.empty()) break;
+      const BatchRecord& record = c.driver.handle_batch(raw, now);
+      result.worker_busy_ns += record.duration_ns();
+      now = record.end_ns;
+
+      if (c.driver.config().flush_on_replay) {
+        c.gpu.fault_buffer().flush_arrived(now);
+      }
+      c.gpu.on_replay();
+      const auto gen = c.gpu.generate(now, c.driver);
+      const SimTime advance =
+          gen.compute_ns + gen.remote_requests *
+                               config_.gpu.remote_request_pipelined_ns;
+      c.compute_ns += advance;
+      now += advance;
+
+      if (++batches > max_batches) {
+        throw std::logic_error("uvmsim: multi-client batch guard exceeded");
+      }
+    }
+  }
+
+  result.makespan_ns = now;
+  result.batches_serviced = batches;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    Client& c = *clients_[i];
+    RunResult& r = result.per_client[i];
+    r.log = c.driver.take_log();
+    r.kernel_time_ns = c.done ? c.done_at : now;
+    for (const auto& rec : r.log) r.batch_time_ns += rec.duration_ns();
+    r.gpu_compute_ns = c.compute_ns;
+    r.total_faults = c.gpu.total_faults_emitted();
+    r.duplicate_emissions = c.gpu.total_duplicate_emissions();
+    r.replays = c.gpu.replays_seen();
+    r.evictions = c.driver.total_evictions();
+    r.bytes_h2d = c.driver.copy_engine().bytes_to_device();
+    r.bytes_d2h = c.driver.copy_engine().bytes_to_host();
+  }
+  return result;
+}
+
+}  // namespace uvmsim

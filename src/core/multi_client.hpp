@@ -1,0 +1,70 @@
+// Multiple GPU clients sharing one UVM driver worker.
+//
+// Figure 2 shows UVM as a client-server architecture: "one or more
+// software clients (user-level GPU or host code)" served by one host
+// driver. The paper's single-GPU study explicitly positions itself as
+// "a base and foundation for studying the interactions among multiple
+// devices on the same systems" (§1) and §6 predicts the serial driver
+// bottleneck hits "any vendor implementing HMM for parallel devices".
+//
+// MultiClientSystem instantiates N independent GPUs (each with its own
+// fault buffer, memory, and VA space) whose fault batches are serviced by
+// ONE driver worker on a shared timeline: while the worker services
+// client A, client B's arrived faults wait. The per-client slowdown
+// versus a standalone run measures the cross-device interference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace uvmsim {
+
+struct MultiClientResult {
+  std::vector<RunResult> per_client;
+  SimTime makespan_ns = 0;        // all clients complete
+  SimTime worker_busy_ns = 0;     // driver time spent servicing batches
+  std::uint64_t batches_serviced = 0;
+};
+
+class MultiClientSystem {
+ public:
+  /// Every client gets the same per-GPU configuration (its own GPU memory
+  /// of config.gpu.memory_bytes); seeds are decorrelated per client.
+  MultiClientSystem(SystemConfig config, std::uint32_t num_clients);
+
+  /// Launch specs[i] on client i (specs.size() must equal num_clients)
+  /// and service all clients' faults with the single shared worker until
+  /// every kernel completes.
+  MultiClientResult run(const std::vector<WorkloadSpec>& specs);
+
+  std::uint32_t num_clients() const noexcept {
+    return static_cast<std::uint32_t>(clients_.size());
+  }
+  UvmDriver& driver(std::uint32_t client) { return clients_.at(client)->driver; }
+
+ private:
+  struct Client {
+    Client(const SystemConfig& config, std::uint64_t seed)
+        : driver(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
+                 config.pcie),
+          gpu(config.gpu, seed) {}
+
+    UvmDriver driver;
+    GpuEngine gpu;
+    SimTime compute_ns = 0;
+    SimTime done_at = 0;
+    bool done = false;
+  };
+
+  bool client_finished(const Client& c) const {
+    return c.gpu.all_done() && c.gpu.fault_buffer().empty();
+  }
+
+  SystemConfig config_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,136 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+namespace uvmsim {
+
+System::System(SystemConfig config)
+    : config_(config),
+      driver_(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
+              config.pcie),
+      gpu_(config.gpu, config.seed) {}
+
+RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
+  // Managed allocations (host init included) before launch. Builders
+  // number pages from 0; the VA space places this run's buffers at the
+  // next free VABlock, so the kernel is launched with that base offset.
+  PageId base_page;
+  if (options.reuse_allocations) {
+    if (!has_run_) {
+      throw std::logic_error(
+          "uvmsim: reuse_allocations requires a prior run");
+    }
+    base_page = last_base_page_;
+  } else {
+    base_page = driver_.va_space().total_pages();
+    for (const auto& alloc : spec.allocs) {
+      driver_.managed_alloc(alloc.bytes, alloc.name, alloc.init,
+                            alloc.advise);
+    }
+    last_base_page_ = base_page;
+    has_run_ = true;
+  }
+
+  RunResult result;
+  const SimTime t0 = now_;
+  const std::uint64_t faults_before = gpu_.total_faults_emitted();
+  const std::uint64_t dups_before = gpu_.total_duplicate_emissions();
+  const std::uint64_t remote_before = gpu_.remote_accesses();
+  const std::uint64_t replays_before = gpu_.replays_seen();
+  const std::uint64_t evictions_before = driver_.total_evictions();
+  const std::uint64_t h2d_before = driver_.copy_engine().bytes_to_device();
+  const std::uint64_t d2h_before = driver_.copy_engine().bytes_to_host();
+  const std::size_t log_before = driver_.log().size();
+
+  gpu_.launch(spec.kernel, base_page);
+  auto gen = gpu_.generate(now_, driver_);
+  now_ += gen.compute_ns +
+          gen.remote_requests * config_.gpu.remote_request_pipelined_ns;
+  result.gpu_compute_ns += gen.compute_ns;
+
+  // Driver worker loop, alternating with GPU fault generation. The guard
+  // bounds total batches; real runs are far below it.
+  const std::uint64_t max_batches =
+      1'000'000 + 16 * spec.kernel.total_accesses();
+  std::uint64_t batches = 0;
+
+  while (!gpu_.all_done() || !gpu_.fault_buffer().empty()) {
+    if (gpu_.fault_buffer().empty()) {
+      // GPU made no faults but is not done: every runnable access is either
+      // blocked by the throttle with a drained buffer (possible only after
+      // hardware drops) or awaiting a replay. Model the throttle-timer
+      // expiry: refill tokens, replay, regenerate.
+      ++result.forced_throttle_refills;
+      gpu_.force_token_refill();
+      gpu_.on_replay();
+      gen = gpu_.generate(now_, driver_);
+      now_ += gen.compute_ns +
+              gen.remote_requests * config_.gpu.remote_request_pipelined_ns;
+      result.gpu_compute_ns += gen.compute_ns;
+      if (gpu_.fault_buffer().empty()) {
+        if (gpu_.all_done()) break;
+        throw std::logic_error("uvmsim: fault generation wedged");
+      }
+    }
+
+    // The interrupt for the earliest pending fault wakes the driver
+    // worker; it can only read records the GMMU has written by then.
+    const SimTime first = *gpu_.fault_buffer().next_arrival();
+    now_ = std::max(now_, first) +
+           driver_.pcie().config().interrupt_latency_ns +
+           driver_.config().wakeup_ns;
+
+    // Worker services batches until no arrived faults remain, then sleeps
+    // (faults still in flight re-raise the interrupt — outer loop).
+    for (;;) {
+      auto raw = gpu_.fault_buffer().drain_arrived(
+          driver_.effective_batch_size(), now_);
+      if (raw.empty()) break;
+      const BatchRecord& record = driver_.handle_batch(raw, now_);
+      now_ = record.end_ns;
+
+      if (driver_.config().flush_on_replay) {
+        gpu_.fault_buffer().flush_arrived(now_);
+      }
+      gpu_.on_replay();
+      gen = gpu_.generate(now_, driver_);
+      now_ += gen.compute_ns +
+              gen.remote_requests * config_.gpu.remote_request_pipelined_ns;
+      result.gpu_compute_ns += gen.compute_ns;
+
+      if (++batches > max_batches) {
+        throw std::logic_error("uvmsim: batch guard exceeded (livelock?)");
+      }
+    }
+  }
+
+  result.kernel_time_ns = now_ - t0;
+  result.log.assign(driver_.log().begin() + log_before, driver_.log().end());
+  for (const auto& rec : result.log) result.batch_time_ns += rec.duration_ns();
+  result.total_faults = gpu_.total_faults_emitted() - faults_before;
+  result.duplicate_emissions =
+      gpu_.total_duplicate_emissions() - dups_before;
+  result.remote_accesses = gpu_.remote_accesses() - remote_before;
+  result.replays = gpu_.replays_seen() - replays_before;
+  result.evictions = driver_.total_evictions() - evictions_before;
+  result.bytes_h2d = driver_.copy_engine().bytes_to_device() - h2d_before;
+  result.bytes_d2h = driver_.copy_engine().bytes_to_host() - d2h_before;
+  return result;
+}
+
+namespace presets {
+
+SystemConfig titan_v() {
+  SystemConfig config;  // defaults are the Titan V / PCIe 3.0 testbed
+  return config;
+}
+
+SystemConfig scaled_titan_v(std::uint64_t gpu_memory_mb) {
+  SystemConfig config;
+  config.gpu.memory_bytes = gpu_memory_mb * 1024 * 1024;
+  return config;
+}
+
+}  // namespace presets
+
+}  // namespace uvmsim

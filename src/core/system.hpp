@@ -1,0 +1,89 @@
+// Public entry point: a complete UVM system (GPU + driver + host OS +
+// interconnect) that executes workloads and produces batch logs.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   uvmsim::SystemConfig config = uvmsim::presets::scaled_titan_v(256);
+//   uvmsim::System system(config);
+//   auto spec = uvmsim::make_stream_triad(1 << 22);
+//   uvmsim::RunResult result = system.run(spec);
+//   // result.log has one BatchRecord per serviced fault batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gpu/gpu_config.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "interconnect/pcie.hpp"
+#include "uvm/driver_config.hpp"
+#include "uvm/uvm_driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+struct SystemConfig {
+  GpuConfig gpu;
+  DriverConfig driver;
+  PcieConfig pcie;
+  std::uint64_t seed = 0x5C21;  // fault-jitter / duplicate-draw seed
+};
+
+/// Everything a run produces; the paper's per-application numbers are all
+/// derivable from `log` (the per-batch metadata) plus these aggregates.
+struct RunResult {
+  BatchLog log;
+  SimTime kernel_time_ns = 0;    // launch-to-completion wall time (Table 4)
+  SimTime batch_time_ns = 0;     // sum of batch durations (Table 4)
+  SimTime gpu_compute_ns = 0;    // GPU time on resident data
+  std::uint64_t total_faults = 0;      // raw fault-buffer arrivals
+  std::uint64_t duplicate_emissions = 0;
+  std::uint64_t remote_accesses = 0;  // resolved via DMA remote mapping
+  std::uint64_t replays = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t forced_throttle_refills = 0;  // wedge-recovery events
+};
+
+struct RunOptions {
+  /// Re-launch against the allocations of the previous run of the same
+  /// spec (warm data, no new managed_alloc calls) — the iterative-kernel
+  /// pattern. Requires a prior non-reusing run.
+  bool reuse_allocations = false;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config);
+
+  /// Allocate the spec's managed buffers (applying host init), launch the
+  /// kernel, and run fault servicing to completion.
+  RunResult run(const WorkloadSpec& spec, RunOptions options = {});
+
+  UvmDriver& driver() noexcept { return driver_; }
+  const UvmDriver& driver() const noexcept { return driver_; }
+  GpuEngine& gpu() noexcept { return gpu_; }
+  const SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  SystemConfig config_;
+  UvmDriver driver_;
+  GpuEngine gpu_;
+  SimTime now_ = 0;  // advances monotonically across run() calls
+  PageId last_base_page_ = 0;
+  bool has_run_ = false;
+};
+
+namespace presets {
+
+/// The paper's testbed: Titan V over PCIe 3.0 x16, default driver policy.
+SystemConfig titan_v();
+
+/// Titan V fault-path constraints with GPU memory scaled down to
+/// `gpu_memory_mb` so oversubscription experiments run in seconds.
+SystemConfig scaled_titan_v(std::uint64_t gpu_memory_mb);
+
+}  // namespace presets
+
+}  // namespace uvmsim

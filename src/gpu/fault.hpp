@@ -1,0 +1,20 @@
+// A single GPU page fault as written into the GPU fault buffer by the GMMU.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+struct FaultRecord {
+  PageId page = 0;
+  AccessType access = AccessType::kRead;
+  std::uint32_t sm = 0;      // originating SM (paper Table 2 statistics)
+  std::uint32_t utlb = 0;    // originating µTLB (duplicate classification)
+  std::uint32_t block = 0;   // thread-block id, for trace analysis
+  SimTime timestamp = 0;     // arrival time at the fault buffer (Fig 4)
+  bool is_duplicate_emission = false;  // hardware-side duplicate/spurious
+};
+
+}  // namespace uvmsim

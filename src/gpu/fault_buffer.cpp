@@ -1,0 +1,71 @@
+#include "gpu/fault_buffer.hpp"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+bool FaultBuffer::push(const FaultRecord& fault) {
+  if (entries_.size() >= capacity_) {
+    ++dropped_full_;
+    return false;
+  }
+  entries_.push_back(fault);
+  ++pushed_;
+  return true;
+}
+
+std::vector<FaultRecord> FaultBuffer::drain(std::size_t max_count) {
+  const std::size_t n = std::min(max_count, entries_.size());
+  std::vector<FaultRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(entries_.front());
+    entries_.pop_front();
+  }
+  return out;
+}
+
+std::vector<FaultRecord> FaultBuffer::drain_arrived(std::size_t max_count,
+                                                    SimTime now,
+                                                    SimTime pace_ns) {
+  std::vector<FaultRecord> out;
+  SimTime read_clock = now;
+  while (out.size() < max_count && !entries_.empty() &&
+         entries_.front().timestamp <= read_clock) {
+    out.push_back(entries_.front());
+    entries_.pop_front();
+    read_clock += pace_ns;
+  }
+  return out;
+}
+
+std::optional<SimTime> FaultBuffer::next_arrival() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.front().timestamp;
+}
+
+void FaultBuffer::sort_pending() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const FaultRecord& a, const FaultRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+std::size_t FaultBuffer::flush() {
+  const std::size_t n = entries_.size();
+  entries_.clear();
+  flushed_ += n;
+  return n;
+}
+
+std::size_t FaultBuffer::flush_arrived(SimTime now) {
+  std::size_t n = 0;
+  while (!entries_.empty() && entries_.front().timestamp <= now) {
+    entries_.pop_front();
+    ++n;
+  }
+  flushed_ += n;
+  return n;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,70 @@
+// The GPU fault buffer: a circular array in device memory, configured and
+// drained by the UVM driver (Fig 2).
+//
+// Semantics that matter to the study:
+//   * bounded capacity — faults arriving when full are dropped by hardware
+//     (the thread simply re-faults later);
+//   * the driver drains from the head up to its batch-size limit;
+//   * before a replay the driver *flushes* the buffer: all remaining
+//     entries are discarded, and µTLBs reissue any that still miss (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "gpu/fault.hpp"
+
+namespace uvmsim {
+
+class FaultBuffer {
+ public:
+  explicit FaultBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Hardware-side append. Returns false (and counts a drop) when full.
+  bool push(const FaultRecord& fault);
+
+  /// Driver-side drain of up to `max_count` oldest faults.
+  std::vector<FaultRecord> drain(std::size_t max_count);
+
+  /// Drain up to `max_count` faults following the real retrieval policy:
+  /// "read until the batch size limit is reached or no faults remain".
+  /// Records carry hardware arrival timestamps; the reader starts at
+  /// `now`, takes `pace_ns` per record, and keeps reading records that
+  /// have arrived by its advancing read clock — so a fast-faulting
+  /// workload fills the batch while a slow one drains dry early.
+  std::vector<FaultRecord> drain_arrived(std::size_t max_count, SimTime now,
+                                         SimTime pace_ns = 60);
+
+  /// Earliest pending arrival time; nullopt when empty.
+  std::optional<SimTime> next_arrival() const;
+
+  /// Restore arrival (timestamp) order. The engine emits per-SM streams
+  /// interleaved in scan order; hardware writes records as they arrive.
+  void sort_pending();
+
+  /// Discard everything (pre-replay flush). Returns how many were dropped.
+  std::size_t flush();
+
+  /// Pre-replay flush of entries that have arrived by `now`; in-flight
+  /// (future-timestamped) records survive and land after the replay.
+  std::size_t flush_arrived(SimTime now);
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::uint64_t total_pushed() const noexcept { return pushed_; }
+  std::uint64_t total_dropped_full() const noexcept { return dropped_full_; }
+  std::uint64_t total_flushed() const noexcept { return flushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<FaultRecord> entries_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_full_ = 0;
+  std::uint64_t flushed_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,33 @@
+#include "gpu/gpu_memory.hpp"
+
+namespace uvmsim {
+
+GpuMemory::GpuMemory(std::uint64_t total_bytes)
+    : total_chunks_(total_bytes / kVaBlockSize),
+      allocated_(total_chunks_, false) {}
+
+std::optional<GpuMemory::ChunkId> GpuMemory::alloc_chunk() {
+  ChunkId chunk;
+  if (!free_list_.empty()) {
+    chunk = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_never_used_ < total_chunks_) {
+    chunk = next_never_used_++;
+  } else {
+    ++failed_;
+    return std::nullopt;
+  }
+  allocated_[chunk] = true;
+  ++in_use_;
+  return chunk;
+}
+
+bool GpuMemory::free_chunk(ChunkId chunk) {
+  if (chunk >= total_chunks_ || !allocated_[chunk]) return false;
+  allocated_[chunk] = false;
+  free_list_.push_back(chunk);
+  --in_use_;
+  return true;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,44 @@
+// GPU physical memory: a 2 MB chunk allocator.
+//
+// UVM requests physical backing from the nvidia resource manager in 2 MB
+// chunks aligned with VABlocks, and evicts at the same granularity (§2.2,
+// §5.1). Allocation failure is the eviction trigger.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class GpuMemory {
+ public:
+  explicit GpuMemory(std::uint64_t total_bytes);
+
+  using ChunkId = std::uint32_t;
+
+  /// Allocate one 2 MB chunk; nullopt when memory is exhausted (the caller
+  /// must evict and retry).
+  std::optional<ChunkId> alloc_chunk();
+
+  bool free_chunk(ChunkId chunk);
+
+  std::uint64_t total_chunks() const noexcept { return total_chunks_; }
+  std::uint64_t chunks_in_use() const noexcept { return in_use_; }
+  std::uint64_t free_chunks() const noexcept { return total_chunks_ - in_use_; }
+  bool full() const noexcept { return in_use_ >= total_chunks_; }
+
+  std::uint64_t failed_allocations() const noexcept { return failed_; }
+
+ private:
+  std::uint64_t total_chunks_;
+  std::uint64_t in_use_ = 0;
+  std::uint32_t next_never_used_ = 0;
+  std::vector<ChunkId> free_list_;
+  std::vector<bool> allocated_;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,56 @@
+// Page-granular kernel IR: what a CUDA kernel looks like to the UVM system.
+//
+// The UVM driver never sees instructions — only the page-access footprint
+// each warp generates, shaped by coalescing (one request per distinct page
+// per warp) and scoreboard ordering (SIMT pipelines stall in order at the
+// first use of a pending register, so a warp's accesses execute as ordered
+// *groups*: all loads up to a stall issue together, then the warp blocks
+// until they complete — Listing 2 in the paper). Workload generators in
+// src/workloads compile each benchmark to this IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+struct PageAccess {
+  PageId page = 0;
+  AccessType type = AccessType::kRead;
+};
+
+/// Accesses a warp can have in flight together, followed by an implicit
+/// scoreboard barrier. `compute_ns` is the arithmetic the warp performs
+/// once the group's data is available.
+struct AccessGroup {
+  std::vector<PageAccess> accesses;
+  SimTime compute_ns = 1000;
+};
+
+struct WarpProgram {
+  std::vector<AccessGroup> groups;
+};
+
+struct BlockProgram {
+  std::vector<WarpProgram> warps;
+};
+
+/// A grid launch. Blocks are scheduled onto SMs by the engine as resident
+/// blocks retire, producing the moving access frontier real kernels show.
+struct KernelDesc {
+  std::string name;
+  std::vector<BlockProgram> blocks;
+
+  std::uint64_t total_accesses() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : blocks)
+      for (const auto& w : b.warps)
+        for (const auto& g : w.groups) n += g.accesses.size();
+    return n;
+  }
+};
+
+}  // namespace uvmsim

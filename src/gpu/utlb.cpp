@@ -1,0 +1,4 @@
+// UTlb is header-only today; this translation unit anchors the library and
+// keeps a home for future replay-targeting extensions (per-SM replay is
+// discussed as future work in the paper's Section 6).
+#include "gpu/utlb.hpp"

@@ -1,0 +1,47 @@
+// µTLB model: per-SM-pair translation lookaside buffer that tracks
+// outstanding (un-serviced) page faults.
+//
+// Section 3.2 establishes the governing constraint: at most 56 outstanding
+// faults per µTLB on Volta. A warp whose access misses an already-
+// outstanding entry joins it (possibly emitting a duplicate fault record);
+// a miss on a new page needs a free entry. A fault replay clears the
+// waiting state of every entry — threads re-execute the access and either
+// hit (serviced) or fault again.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class UTlb {
+ public:
+  explicit UTlb(std::uint32_t outstanding_cap) : cap_(outstanding_cap) {}
+
+  bool full() const noexcept { return outstanding_.size() >= cap_; }
+  bool has_outstanding(PageId page) const {
+    return outstanding_.contains(page);
+  }
+
+  /// Register a new outstanding fault. Precondition: !full() && !has().
+  void add_outstanding(PageId page) { outstanding_.insert(page); }
+
+  /// Replay: every waiting entry is cleared; threads retry their accesses.
+  void clear() { outstanding_.clear(); }
+
+  std::size_t outstanding_count() const noexcept {
+    return outstanding_.size();
+  }
+  const std::unordered_set<PageId>& outstanding() const noexcept {
+    return outstanding_;
+  }
+  std::uint32_t capacity() const noexcept { return cap_; }
+
+ private:
+  std::uint32_t cap_;
+  std::unordered_set<PageId> outstanding_;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,23 @@
+#include "hostos/dma.hpp"
+
+namespace uvmsim {
+
+DmaMapper::MapResult DmaMapper::map_range(PageId first, std::uint32_t count) {
+  MapResult out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const PageId page = first + i;
+    if (reverse_.contains(page)) continue;
+    const auto ins = reverse_.insert(page, next_dma_addr_);
+    next_dma_addr_ += kPageSize;
+    ++out.pages_mapped;
+    out.radix_nodes_allocated += ins.nodes_allocated;
+    out.radix_grew = out.radix_grew || ins.grew_height;
+    out.cost_ns += model_.per_page_map_ns + model_.per_radix_insert_ns +
+                   model_.per_radix_node_ns * ins.nodes_allocated;
+  }
+  return out;
+}
+
+bool DmaMapper::unmap_page(PageId page) { return reverse_.erase(page); }
+
+}  // namespace uvmsim

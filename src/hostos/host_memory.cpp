@@ -1,0 +1,31 @@
+#include "hostos/host_memory.hpp"
+
+namespace uvmsim {
+
+HostMemory::HostMemory(std::uint64_t total_frames)
+    : total_(total_frames), allocated_(total_frames, false) {}
+
+std::optional<std::uint64_t> HostMemory::alloc_frame() {
+  std::uint64_t pfn;
+  if (!free_list_.empty()) {
+    pfn = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_never_used_ < total_) {
+    pfn = next_never_used_++;
+  } else {
+    return std::nullopt;
+  }
+  allocated_[pfn] = true;
+  ++in_use_;
+  return pfn;
+}
+
+bool HostMemory::free_frame(std::uint64_t pfn) {
+  if (pfn >= total_ || !allocated_[pfn]) return false;
+  allocated_[pfn] = false;
+  free_list_.push_back(pfn);
+  --in_use_;
+  return true;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,38 @@
+// Host physical frame allocator.
+//
+// Backs CPU-resident managed pages and eviction targets. A simple free-list
+// allocator is sufficient: the study never exhausts host memory (128 GB on
+// the authors' testbed), but tracking frames keeps page-table contents and
+// eviction round-trips honest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace uvmsim {
+
+class HostMemory {
+ public:
+  explicit HostMemory(std::uint64_t total_frames);
+
+  /// Allocate one frame; nullopt when host memory is exhausted.
+  std::optional<std::uint64_t> alloc_frame();
+
+  /// Return a frame to the free list. Double-free is a logic error and is
+  /// reported by returning false.
+  bool free_frame(std::uint64_t pfn);
+
+  std::uint64_t capacity() const noexcept { return total_; }
+  std::uint64_t in_use() const noexcept { return in_use_; }
+  std::uint64_t free_frames() const noexcept { return total_ - in_use_; }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t in_use_ = 0;
+  std::uint64_t next_never_used_ = 0;       // bump pointer
+  std::vector<std::uint64_t> free_list_;    // recycled frames
+  std::vector<bool> allocated_;             // double-free detection
+};
+
+}  // namespace uvmsim

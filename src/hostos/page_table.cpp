@@ -1,0 +1,78 @@
+#include "hostos/page_table.hpp"
+
+namespace uvmsim {
+
+bool PageTable::map(PageId vpn, std::uint64_t pfn) {
+  auto& l1 = root_.next[index(vpn, 0)];
+  if (!l1) {
+    l1 = std::make_unique<Level1>();
+    ++root_.count;
+    ++table_pages_;
+  }
+  auto& l2 = l1->next[index(vpn, 1)];
+  if (!l2) {
+    l2 = std::make_unique<Level2>();
+    ++l1->count;
+    ++table_pages_;
+  }
+  auto& l3 = l2->next[index(vpn, 2)];
+  if (!l3) {
+    l3 = std::make_unique<Level3>();
+    ++l2->count;
+    ++table_pages_;
+  }
+  const unsigned slot = index(vpn, 3);
+  if (l3->present[slot]) return false;
+  l3->present[slot] = true;
+  l3->pfn[slot] = pfn;
+  ++l3->count;
+  ++mapped_;
+  return true;
+}
+
+std::optional<std::uint64_t> PageTable::unmap(PageId vpn) {
+  Level1* l1 = root_.next[index(vpn, 0)].get();
+  if (!l1) return std::nullopt;
+  Level2* l2 = l1->next[index(vpn, 1)].get();
+  if (!l2) return std::nullopt;
+  Level3* l3 = l2->next[index(vpn, 2)].get();
+  if (!l3) return std::nullopt;
+  const unsigned slot = index(vpn, 3);
+  if (!l3->present[slot]) return std::nullopt;
+  l3->present[slot] = false;
+  --l3->count;
+  --mapped_;
+  const std::uint64_t pfn = l3->pfn[slot];
+
+  // Free empty interior tables so table_pages() tracks real usage.
+  if (l3->count == 0) {
+    l2->next[index(vpn, 2)].reset();
+    --l2->count;
+    --table_pages_;
+    if (l2->count == 0) {
+      l1->next[index(vpn, 1)].reset();
+      --l1->count;
+      --table_pages_;
+      if (l1->count == 0) {
+        root_.next[index(vpn, 0)].reset();
+        --root_.count;
+        --table_pages_;
+      }
+    }
+  }
+  return pfn;
+}
+
+std::optional<std::uint64_t> PageTable::translate(PageId vpn) const {
+  const Level1* l1 = root_.next[index(vpn, 0)].get();
+  if (!l1) return std::nullopt;
+  const Level2* l2 = l1->next[index(vpn, 1)].get();
+  if (!l2) return std::nullopt;
+  const Level3* l3 = l2->next[index(vpn, 2)].get();
+  if (!l3) return std::nullopt;
+  const unsigned slot = index(vpn, 3);
+  if (!l3->present[slot]) return std::nullopt;
+  return l3->pfn[slot];
+}
+
+}  // namespace uvmsim

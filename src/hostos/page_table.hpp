@@ -1,0 +1,75 @@
+// Four-level x86-style page table for the host process.
+//
+// UVM-managed allocations are mapped into the host process like any other
+// anonymous memory; when the GPU takes ownership of a page the driver must
+// remove the host PTE (via unmap_mapping_range, modelled in unmap.hpp).
+// This structure tracks which virtual pages are host-mapped and to which
+// host frame, so eviction/remap behaviour (Section 5.1) is stateful and
+// testable rather than a pure cost constant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+class PageTable {
+ public:
+  static constexpr unsigned kLevels = 4;
+  static constexpr unsigned kBitsPerLevel = 9;
+  static constexpr unsigned kEntries = 1u << kBitsPerLevel;  // 512
+
+  /// Map a virtual page number to a host physical frame number.
+  /// Returns false if the vpn was already mapped (mapping unchanged).
+  bool map(PageId vpn, std::uint64_t pfn);
+
+  /// Remove a mapping. Returns the frame it pointed to, if any.
+  std::optional<std::uint64_t> unmap(PageId vpn);
+
+  /// Translate; nullopt on a (host) page fault.
+  std::optional<std::uint64_t> translate(PageId vpn) const;
+
+  bool is_mapped(PageId vpn) const { return translate(vpn).has_value(); }
+
+  std::uint64_t mapped_count() const noexcept { return mapped_; }
+  std::uint64_t table_pages() const noexcept { return table_pages_; }
+
+ private:
+  struct Level3;  // PTE level
+  struct Level2;
+  struct Level1;
+  struct Level0;
+
+  struct Level3 {
+    std::array<std::uint64_t, kEntries> pfn{};
+    std::array<bool, kEntries> present{};
+    unsigned count = 0;
+  };
+  struct Level2 {
+    std::array<std::unique_ptr<Level3>, kEntries> next{};
+    unsigned count = 0;
+  };
+  struct Level1 {
+    std::array<std::unique_ptr<Level2>, kEntries> next{};
+    unsigned count = 0;
+  };
+  struct Level0 {
+    std::array<std::unique_ptr<Level1>, kEntries> next{};
+    unsigned count = 0;
+  };
+
+  static unsigned index(PageId vpn, unsigned level) noexcept {
+    const unsigned shift = (kLevels - 1 - level) * kBitsPerLevel;
+    return static_cast<unsigned>((vpn >> shift) & (kEntries - 1));
+  }
+
+  Level0 root_;
+  std::uint64_t mapped_ = 0;
+  std::uint64_t table_pages_ = 1;  // the root itself
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,20 @@
+#include "hostos/unmap.hpp"
+
+#include <bit>
+
+namespace uvmsim {
+
+unsigned sharer_count(CpuThreadMask mask) noexcept {
+  return static_cast<unsigned>(std::popcount(mask));
+}
+
+SimTime UnmapCostModel::cost(std::uint32_t pages,
+                             CpuThreadMask sharers) const noexcept {
+  if (pages == 0) return 0;
+  const unsigned cores = sharer_count(sharers);
+  const unsigned extra_cores = cores > 1 ? cores - 1 : 0;
+  return base_call_ns + per_page_ns * pages +
+         ipi_per_extra_core_ns * extra_cores;
+}
+
+}  // namespace uvmsim

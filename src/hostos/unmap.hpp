@@ -1,0 +1,37 @@
+// Cost model for unmap_mapping_range() on the GPU fault path.
+//
+// Section 4.4: when the GPU touches a VABlock that is partially resident on
+// the CPU, the driver calls unmap_mapping_range() to remove every host PTE
+// in the block before migration. The cost has a fixed syscall/locking part,
+// a per-page PTE-teardown part, and — crucially — a TLB-shootdown part that
+// grows with the number of CPU cores holding TLB entries for the range
+// (each needs an IPI and a wait for acknowledgement). This is how OpenMP
+// multithreaded initialization roughly doubles HPGMG's fault cost (Fig 11):
+// interleaved init leaves many cores' TLBs referencing each VABlock.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Bitmask of host CPU threads/cores that have touched a page range and may
+/// hold stale TLB entries for it. Thread i sets bit (i % 64).
+using CpuThreadMask = std::uint64_t;
+
+struct UnmapCostModel {
+  SimTime base_call_ns = 8000;       // mmap_sem + rmap walk entry
+  SimTime per_page_ns = 250;         // PTE clear + dirty-page bookkeeping
+  SimTime ipi_per_extra_core_ns = 20000;  // shootdown IPI + ack per extra core
+
+  /// Time to unmap `pages` host-resident pages whose mappings were touched
+  /// by the cores in `sharers`. One sharing core pays no IPI (the caller's
+  /// local TLB flush); each additional core pays a full shootdown.
+  SimTime cost(std::uint32_t pages, CpuThreadMask sharers) const noexcept;
+};
+
+/// Number of cores represented in a sharing mask.
+unsigned sharer_count(CpuThreadMask mask) noexcept;
+
+}  // namespace uvmsim

@@ -1,0 +1,42 @@
+#include "hostos/vma.hpp"
+
+#include <utility>
+
+namespace uvmsim {
+
+bool VmaMap::insert(PageId start, PageId end, AllocId alloc,
+                    std::string name) {
+  if (start >= end) return false;
+
+  // The first region with start >= requested end cannot overlap; check the
+  // region before it (if any) for overlap from the left.
+  auto it = regions_.lower_bound(start);
+  if (it != regions_.end() && it->first < end) return false;
+  if (it != regions_.begin()) {
+    const auto& prev = std::prev(it)->second;
+    if (prev.end > start) return false;
+  }
+
+  Vma vma{start, end, alloc, std::move(name)};
+  total_pages_ += vma.pages();
+  regions_.emplace(start, std::move(vma));
+  return true;
+}
+
+bool VmaMap::erase(PageId start) {
+  auto it = regions_.find(start);
+  if (it == regions_.end()) return false;
+  total_pages_ -= it->second.pages();
+  regions_.erase(it);
+  return true;
+}
+
+std::optional<Vma> VmaMap::find(PageId page) const {
+  auto it = regions_.upper_bound(page);
+  if (it == regions_.begin()) return std::nullopt;
+  const Vma& vma = std::prev(it)->second;
+  if (page >= vma.start && page < vma.end) return vma;
+  return std::nullopt;
+}
+
+}  // namespace uvmsim

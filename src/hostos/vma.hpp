@@ -1,0 +1,51 @@
+// Virtual memory area (VMA) tracking for managed allocations.
+//
+// cudaMallocManaged-style allocations register a VMA with the host OS; the
+// UVM driver resolves faulting addresses to allocations through it. We keep
+// the classic ordered-interval representation (the kernel's rbtree of
+// vm_area_structs, here a std::map keyed by start page).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+struct Vma {
+  PageId start = 0;  // first page (inclusive)
+  PageId end = 0;    // one past last page (exclusive)
+  AllocId alloc = 0;
+  std::string name;
+
+  std::uint64_t pages() const noexcept { return end - start; }
+};
+
+class VmaMap {
+ public:
+  /// Register [start, end) for `alloc`. Fails (returns false) on overlap
+  /// with an existing region or an empty range.
+  bool insert(PageId start, PageId end, AllocId alloc, std::string name);
+
+  /// Remove the region starting exactly at `start`.
+  bool erase(PageId start);
+
+  /// Find the VMA containing `page`.
+  std::optional<Vma> find(PageId page) const;
+
+  std::size_t size() const noexcept { return regions_.size(); }
+  std::uint64_t total_pages() const noexcept { return total_pages_; }
+
+  /// Iteration support for analyses.
+  auto begin() const { return regions_.begin(); }
+  auto end() const { return regions_.end(); }
+
+ private:
+  std::map<PageId, Vma> regions_;  // keyed by start page
+  std::uint64_t total_pages_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,52 @@
+#include "interconnect/copy_engine.hpp"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+void CopyEngine::account(CopyDirection direction,
+                         std::uint64_t bytes) noexcept {
+  if (direction == CopyDirection::kHostToDevice) {
+    to_device_ += bytes;
+  } else {
+    to_host_ += bytes;
+  }
+  link_.record(bytes);
+}
+
+CopyEngine::CopyResult CopyEngine::copy_pages(std::vector<PageId> pages,
+                                              CopyDirection direction) {
+  CopyResult out;
+  if (pages.empty()) return out;
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= pages.size(); ++i) {
+    const bool run_breaks =
+        i == pages.size() || pages[i] != pages[i - 1] + 1;
+    if (!run_breaks) continue;
+    const std::uint64_t run_pages = i - run_start;
+    const std::uint64_t bytes = run_pages * kPageSize;
+    out.time_ns += link_.transfer_time(bytes);
+    out.bytes += bytes;
+    ++out.dma_ops;
+    run_start = i;
+  }
+  account(direction, out.bytes);
+  return out;
+}
+
+CopyEngine::CopyResult CopyEngine::copy_range(PageId /*first*/,
+                                              std::uint64_t count,
+                                              CopyDirection direction) {
+  CopyResult out;
+  if (count == 0) return out;
+  out.bytes = count * kPageSize;
+  out.time_ns = link_.transfer_time(out.bytes);
+  out.dma_ops = 1;
+  account(direction, out.bytes);
+  return out;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,50 @@
+// GPU copy engine: executes host<->device page migrations.
+//
+// The driver instructs the GPU (through the command push-buffer) to copy
+// pages with hardware copy engines. Contiguous page runs coalesce into a
+// single DMA operation — this is why fault batches that migrate dense
+// ranges are so much cheaper per byte than scattered ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "interconnect/pcie.hpp"
+
+namespace uvmsim {
+
+enum class CopyDirection : std::uint8_t { kHostToDevice, kDeviceToHost };
+
+class CopyEngine {
+ public:
+  explicit CopyEngine(PcieLink& link) : link_(link) {}
+
+  struct CopyResult {
+    SimTime time_ns = 0;
+    std::uint32_t dma_ops = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Copy the given pages (page indices, any order, duplicates ignored by
+  /// the caller). Pages are sorted and coalesced into maximal contiguous
+  /// runs; each run is one DMA operation.
+  CopyResult copy_pages(std::vector<PageId> pages, CopyDirection direction);
+
+  /// Copy one contiguous range of `count` pages (used by prefetch regions
+  /// and whole-buffer explicit staging).
+  CopyResult copy_range(PageId first, std::uint64_t count,
+                        CopyDirection direction);
+
+  std::uint64_t bytes_to_device() const noexcept { return to_device_; }
+  std::uint64_t bytes_to_host() const noexcept { return to_host_; }
+
+ private:
+  void account(CopyDirection direction, std::uint64_t bytes) noexcept;
+
+  PcieLink& link_;
+  std::uint64_t to_device_ = 0;
+  std::uint64_t to_host_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,12 @@
+#include "interconnect/pcie.hpp"
+
+namespace uvmsim {
+
+SimTime PcieLink::transfer_time(std::uint64_t bytes) const noexcept {
+  if (bytes == 0) return 0;
+  const auto wire =
+      static_cast<SimTime>(static_cast<double>(bytes) / config_.bytes_per_ns);
+  return config_.per_op_latency_ns + wire;
+}
+
+}  // namespace uvmsim

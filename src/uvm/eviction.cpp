@@ -1,0 +1,30 @@
+#include "uvm/eviction.hpp"
+
+namespace uvmsim {
+
+void Evictor::touch(VaBlockId block) {
+  auto it = index_.find(block);
+  if (it != index_.end()) {
+    if (policy_ == Policy::kFifo) return;  // FIFO ignores re-touches
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+  order_.push_back(block);
+  index_.emplace(block, std::prev(order_.end()));
+}
+
+void Evictor::remove(VaBlockId block) {
+  auto it = index_.find(block);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<VaBlockId> Evictor::pick_victim(VaBlockId protect) {
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (*it != protect) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,229 @@
+#include "uvm/fault_servicer.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "uvm/dedup.hpp"
+
+namespace uvmsim {
+
+FaultServicer::FaultServicer(const DriverConfig& config, VaSpace& space,
+                             GpuMemory& memory, DmaMapper& dma,
+                             CopyEngine& copy, Evictor& evictor,
+                             std::uint32_t num_sms)
+    : config_(config),
+      space_(space),
+      memory_(memory),
+      dma_(dma),
+      copy_(copy),
+      evictor_(evictor),
+      num_sms_(num_sms) {}
+
+void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
+  record.phases.eviction_ns += config_.evict_fail_alloc_ns;
+
+  const auto victim = evictor_.pick_victim(protect);
+  if (!victim) {
+    throw std::runtime_error(
+        "uvmsim: GPU memory exhausted with no evictable VABlock");
+  }
+
+  VaBlockState& v = space_.block(*victim);
+  const std::uint32_t resident = v.gpu_resident_count();
+  if (resident > 0) {
+    // Writeback: the whole block's resident pages return to host frames
+    // (without CPU remapping — lazy remap on CPU access, §5.1).
+    const auto xfer = copy_.copy_range(first_page_of(*victim), resident,
+                                       CopyDirection::kDeviceToHost);
+    record.phases.eviction_ns += xfer.time_ns;
+    record.counters.bytes_d2h += xfer.bytes;
+  }
+  const auto chunk = v.chunk();
+  v.evict_to_host();  // also drops the block's chunk reference
+  if (chunk) memory_.free_chunk(*chunk);
+  evictor_.remove(*victim);
+
+  record.phases.eviction_ns += config_.evict_restart_ns;
+  ++record.counters.evictions;
+  ++total_evictions_;
+  if (config_.record_vablock_detail) {
+    record.evicted_blocks.push_back(*victim);
+  }
+}
+
+bool FaultServicer::ensure_chunk(VaBlockId id, VaBlockState& block,
+                                 BatchRecord& record) {
+  if (block.has_chunk()) return false;
+  for (;;) {
+    if (const auto chunk = memory_.alloc_chunk(); chunk) {
+      block.set_chunk(*chunk);
+      return true;
+    }
+    if (!config_.eviction_enabled) {
+      throw std::runtime_error(
+          "uvmsim: GPU memory oversubscribed with eviction disabled");
+    }
+    evict_one(id, record);
+  }
+}
+
+BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
+                                   SimTime start, std::uint32_t batch_id) {
+  BatchRecord record;
+  record.id = batch_id;
+  record.start_ns = start;
+
+  // -- Fetch: read the records out of the GPU fault buffer ---------------
+  record.counters.raw_faults = static_cast<std::uint32_t>(raw.size());
+  record.phases.fetch_ns =
+      config_.batch_fixed_ns + config_.per_fault_fetch_ns * raw.size();
+
+  if (config_.record_per_sm_counts) {
+    record.faults_per_sm.assign(num_sms_, 0);
+    for (const auto& f : raw) {
+      if (f.sm < num_sms_) ++record.faults_per_sm[f.sm];
+    }
+  }
+  for (const auto& f : raw) {
+    switch (f.access) {
+      case AccessType::kRead: ++record.counters.read_faults; break;
+      case AccessType::kWrite: ++record.counters.write_faults; break;
+      case AccessType::kPrefetch: ++record.counters.prefetch_faults; break;
+    }
+  }
+
+  // -- Dedup / classify ----------------------------------------------------
+  DedupResult dedup = dedup_faults(raw);
+  record.phases.dedup_ns = config_.per_fault_dedup_ns * raw.size();
+  record.counters.unique_faults =
+      static_cast<std::uint32_t>(dedup.unique.size());
+  record.counters.dup_same_utlb = dedup.dup_same_utlb;
+  record.counters.dup_cross_utlb = dedup.dup_cross_utlb;
+
+  // -- Group by VABlock (the driver processes blocks independently) -------
+  std::map<VaBlockId, std::vector<const FaultRecord*>> by_block;
+  for (const auto& f : dedup.unique) {
+    by_block[va_block_of(f.page)].push_back(&f);
+  }
+  record.counters.vablocks_touched =
+      static_cast<std::uint32_t>(by_block.size());
+
+  const TreePrefetcher prefetcher(config_.prefetch_threshold,
+                                  config_.big_page_promotion);
+
+  for (auto& [block_id, faults] : by_block) {
+    VaBlockState& block = space_.block(block_id);
+    const SimTime block_cost_start = record.phases.sum();
+    record.phases.vablock_ns += config_.per_vablock_ns;
+    if (config_.record_vablock_detail) {
+      record.vablock_faults.emplace_back(
+          block_id, static_cast<std::uint16_t>(faults.size()));
+    }
+
+    VaBlockState::PageMask faulted;
+    for (const FaultRecord* f : faults) {
+      faulted.set(page_index_in_block(f->page));
+    }
+
+    // Reactive density prefetch, VABlock-scoped (§5.2).
+    VaBlockState::PageMask prefetch_mask;
+    if (config_.prefetch_enabled) {
+      prefetch_mask = prefetcher.compute(block.gpu_resident(), faulted);
+      record.phases.prefetch_ns +=
+          config_.prefetch_compute_per_fault_ns * faults.size();
+    }
+    const VaBlockState::PageMask target =
+        (faulted | prefetch_mask) & ~block.gpu_resident();
+
+    // GPU backing; eviction may run inside.
+    const bool fresh_chunk = ensure_chunk(block_id, block, record);
+
+    // First GPU touch: compulsory DMA mapping of every page in the block
+    // plus reverse-map radix inserts (§5.2, Fig 14).
+    if (!block.dma_mapped()) {
+      const auto dma = dma_.map_range(first_page_of(block_id),
+                                      kPagesPerVaBlock);
+      record.phases.dma_map_ns += dma.cost_ns;
+      record.counters.dma_pages_mapped += dma.pages_mapped;
+      record.counters.radix_nodes_allocated += dma.radix_nodes_allocated;
+      record.counters.radix_grew |= dma.radix_grew;
+      block.set_dma_mapped();
+    }
+    if (!block.ever_on_gpu()) {
+      ++record.counters.first_touch_vablocks;
+      if (config_.record_vablock_detail) {
+        record.first_touch_blocks.push_back(block_id);
+      }
+      block.set_ever_on_gpu();
+    }
+
+    // unmap_mapping_range(): every CPU-mapped page of the block comes off
+    // the host page table on the fault path (§4.4).
+    if (block.cpu_mapped_count() > 0) {
+      const std::uint32_t mapped = block.cpu_mapped_count();
+      record.phases.unmap_ns +=
+          config_.unmap.cost(mapped, block.cpu_sharers());
+      ++record.counters.unmap_calls;
+      record.counters.pages_unmapped += space_.unmap_block_cpu(block_id);
+    }
+
+    // Partition target pages: host-backed pages migrate; the rest are
+    // zero-fill populated on the GPU. A fresh chunk populates everything
+    // first (eviction-restart semantics, §5.1).
+    std::vector<PageId> migrate;
+    std::uint32_t populate = 0;
+    const PageId base = first_page_of(block_id);
+    for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
+      if (!target[i]) continue;
+      if (block.host_data()[i]) {
+        migrate.push_back(base + i);
+      } else {
+        ++populate;
+      }
+    }
+    if (fresh_chunk) {
+      populate += static_cast<std::uint32_t>(migrate.size());
+    }
+    record.phases.populate_ns += config_.per_page_populate_ns * populate;
+    record.counters.pages_populated += populate;
+
+    if (!migrate.empty()) {
+      const auto xfer =
+          copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
+      record.phases.transfer_ns += xfer.time_ns;
+      record.counters.bytes_h2d += xfer.bytes;
+      record.counters.pages_migrated +=
+          static_cast<std::uint32_t>(migrate.size());
+    }
+
+    std::uint32_t established = 0;
+    for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
+      if (!target[i]) continue;
+      block.set_gpu_resident(i);
+      ++established;
+    }
+    record.phases.pagetable_ns += config_.per_page_pte_ns * established;
+    record.counters.pages_prefetched += static_cast<std::uint32_t>(
+        (prefetch_mask & ~faulted).count());
+
+    evictor_.touch(block_id);
+    if (config_.record_vablock_detail) {
+      record.vablock_service_ns.emplace_back(
+          block_id, record.phases.sum() - block_cost_start);
+    }
+  }
+
+  // -- Replay ---------------------------------------------------------------
+  record.phases.replay_ns = config_.replay_ns;
+  SimTime critical_path = record.phases.sum();
+  if (config_.async_host_ops) {
+    // §6 extension: host-OS operations run off the fault path; they still
+    // consume host time (accounted by the driver) but do not delay the
+    // replay.
+    critical_path -= record.phases.unmap_ns + record.phases.dma_map_ns;
+  }
+  record.end_ns = start + critical_path;
+  return record;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,69 @@
+#include "uvm/prefetcher.hpp"
+
+#include <array>
+
+namespace uvmsim {
+
+TreePrefetcher::PageMask TreePrefetcher::compute(const PageMask& resident,
+                                                 const PageMask& faulted) const {
+  PageMask target = resident | faulted;
+  if (target.none()) return {};
+
+  // 4 KB -> 64 KB promotion: every faulted page drags in its big page.
+  PageMask expanded = target;
+  if (promote_) {
+    for (std::uint32_t big = 0; big < kBigPagesPerVaBlock; ++big) {
+      const std::uint32_t base = big * kPagesPerBigPage;
+      bool any = false;
+      for (std::uint32_t p = 0; p < kPagesPerBigPage && !any; ++p) {
+        any = faulted[base + p];
+      }
+      if (any) {
+        for (std::uint32_t p = 0; p < kPagesPerBigPage; ++p) {
+          expanded.set(base + p);
+        }
+      }
+    }
+  }
+
+  // Leaf occupancy: a big page is occupied if any of its pages is in the
+  // (expanded) target set.
+  std::array<std::uint32_t, kBigPagesPerVaBlock> occupied{};
+  for (std::uint32_t big = 0; big < kBigPagesPerVaBlock; ++big) {
+    const std::uint32_t base = big * kPagesPerBigPage;
+    for (std::uint32_t p = 0; p < kPagesPerBigPage; ++p) {
+      if (expanded[base + p]) {
+        occupied[big] = 1;
+        break;
+      }
+    }
+  }
+
+  // Bottom-up density sweep over subtree widths 2, 4, ..., 32 big pages.
+  // A node qualifies when occupied/width >= threshold; the widest
+  // qualifying node containing each leaf determines the prefetch region.
+  std::array<std::uint32_t, kBigPagesPerVaBlock> counts = occupied;
+  PageMask result = expanded;
+  for (std::uint32_t width = 2; width <= kBigPagesPerVaBlock; width *= 2) {
+    const std::uint32_t nodes = kBigPagesPerVaBlock / width;
+    std::array<std::uint32_t, kBigPagesPerVaBlock> next{};
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      next[n] = counts[2 * n] + counts[2 * n + 1];
+      const double density =
+          static_cast<double>(next[n]) / static_cast<double>(width);
+      if (next[n] > 0 && density >= threshold_) {
+        const std::uint32_t first_page = n * width * kPagesPerBigPage;
+        for (std::uint32_t p = 0; p < width * kPagesPerBigPage; ++p) {
+          result.set(first_page + p);
+        }
+        next[n] = width;  // node is now fully occupied for higher levels
+      }
+    }
+    counts = next;
+  }
+
+  // Report only genuinely new pages.
+  return result & ~resident & ~faulted;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,54 @@
+#include "uvm/uvm_driver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace uvmsim {
+
+UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
+                     std::uint32_t num_sms, PcieConfig pcie)
+    : config_(std::move(config)),
+      memory_(gpu_memory_bytes),
+      pcie_(pcie),
+      copy_(pcie_),
+      dma_(config_.dma),
+      evictor_(config_.evict_policy == EvictPolicy::kLru ? Evictor::Policy::kLru
+                                                         : Evictor::Policy::kFifo),
+      servicer_(config_, space_, memory_, dma_, copy_, evictor_, num_sms),
+      effective_batch_size_(config_.batch_size) {}
+
+const AllocationInfo& UvmDriver::managed_alloc(std::uint64_t bytes,
+                                               std::string name,
+                                               HostInit init,
+                                               MemAdvise advise) {
+  return space_.allocate(bytes, std::move(name), init, advise);
+}
+
+const BatchRecord& UvmDriver::handle_batch(const std::vector<FaultRecord>& raw,
+                                           SimTime start) {
+  BatchRecord record = servicer_.service(
+      raw, start, static_cast<std::uint32_t>(log_.size()));
+  total_batch_ns_ += record.duration_ns();
+  if (config_.async_host_ops) {
+    async_ns_ += record.phases.unmap_ns + record.phases.dma_map_ns;
+  }
+
+  // §6 adaptive batch sizing: react to the duplicate rate just observed.
+  if (config_.adaptive_batch_size && record.counters.raw_faults > 0) {
+    const double dup_rate =
+        1.0 - static_cast<double>(record.counters.unique_faults) /
+                  static_cast<double>(record.counters.raw_faults);
+    if (dup_rate > config_.adaptive_high_dup_rate) {
+      effective_batch_size_ =
+          std::max(config_.adaptive_min_batch, effective_batch_size_ / 2);
+    } else if (dup_rate < config_.adaptive_low_dup_rate) {
+      effective_batch_size_ =
+          std::min(config_.adaptive_max_batch, effective_batch_size_ * 2);
+    }
+  }
+
+  log_.push_back(std::move(record));
+  return log_.back();
+}
+
+}  // namespace uvmsim

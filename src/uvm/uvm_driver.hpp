@@ -1,0 +1,102 @@
+// The UVM driver: owner of the memory-management state and the batch
+// servicing engine (the host-side box of Fig 2).
+//
+// Exposes the operations the simulator's driver worker performs — fetch a
+// batch from the fault buffer, service it, replay — plus the managed-
+// allocation API user code calls before launching kernels.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "gpu/gpu_memory.hpp"
+#include "hostos/dma.hpp"
+#include "interconnect/copy_engine.hpp"
+#include "interconnect/pcie.hpp"
+#include "uvm/batch.hpp"
+#include "uvm/driver_config.hpp"
+#include "uvm/eviction.hpp"
+#include "uvm/fault_servicer.hpp"
+#include "uvm/va_space.hpp"
+
+namespace uvmsim {
+
+class UvmDriver final : public ResidencyOracle {
+ public:
+  UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
+            std::uint32_t num_sms, PcieConfig pcie = {});
+
+  /// cudaMallocManaged equivalent: reserve managed pages and apply the
+  /// host initialization pattern (plus optional cudaMemAdvise placement).
+  const AllocationInfo& managed_alloc(std::uint64_t bytes, std::string name,
+                                      HostInit init,
+                                      MemAdvise advise = MemAdvise::kNone);
+
+  /// Service one already-drained batch of faults starting at `start` and
+  /// append the record to the batch log. Returns the appended record.
+  const BatchRecord& handle_batch(const std::vector<FaultRecord>& raw,
+                                  SimTime start);
+
+  // ResidencyOracle: the GPU's page-table view.
+  bool is_resident_on_gpu(PageId page) const override {
+    return space_.is_gpu_resident(page);
+  }
+
+  /// Host-pinned allocations resolve remotely (DMA mapping) instead of
+  /// faulting; everything else migrates on fault as usual.
+  PageLocation classify(PageId page) const override {
+    if (space_.is_gpu_resident(page)) return PageLocation::kGpuResident;
+    if (space_.advise_of(page) == MemAdvise::kPreferredLocationHost) {
+      return PageLocation::kRemoteMapped;
+    }
+    return PageLocation::kFaultRequired;
+  }
+
+  const DriverConfig& config() const noexcept { return config_; }
+  VaSpace& va_space() noexcept { return space_; }
+  const VaSpace& va_space() const noexcept { return space_; }
+  GpuMemory& gpu_memory() noexcept { return memory_; }
+  const GpuMemory& gpu_memory() const noexcept { return memory_; }
+  const DmaMapper& dma() const noexcept { return dma_; }
+  PcieLink& pcie() noexcept { return pcie_; }
+  const CopyEngine& copy_engine() const noexcept { return copy_; }
+  const Evictor& evictor() const noexcept { return evictor_; }
+
+  const BatchLog& log() const noexcept { return log_; }
+  BatchLog take_log() noexcept { return std::move(log_); }
+
+  /// Sum of end-start over all batches (Table 4's "Batch" column).
+  SimTime total_batch_time() const noexcept { return total_batch_ns_; }
+  std::uint64_t total_evictions() const noexcept {
+    return servicer_.total_evictions();
+  }
+
+  /// Current fetch limit: the configured batch size, or the adaptive
+  /// controller's value when DriverConfig::adaptive_batch_size is on.
+  std::uint32_t effective_batch_size() const noexcept {
+    return effective_batch_size_;
+  }
+
+  /// Host-OS time moved off the fault path by the async_host_ops
+  /// extension (0 when the extension is off).
+  SimTime async_background_time() const noexcept { return async_ns_; }
+
+ private:
+  DriverConfig config_;
+  VaSpace space_;
+  GpuMemory memory_;
+  PcieLink pcie_;
+  CopyEngine copy_;
+  DmaMapper dma_;
+  Evictor evictor_;
+  FaultServicer servicer_;
+  BatchLog log_;
+  SimTime total_batch_ns_ = 0;
+  SimTime async_ns_ = 0;
+  std::uint32_t effective_batch_size_ = 256;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,2 @@
+// VaBlockState is header-only; this TU anchors the uvm library target.
+#include "uvm/va_block.hpp"

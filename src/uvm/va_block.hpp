@@ -1,0 +1,105 @@
+// Per-VABlock state: the driver's 2 MB bookkeeping unit (Section 2.2).
+//
+// Every memory-management decision in UVM is scoped to one VABlock: fault
+// grouping, migration, DMA-map creation, CPU unmapping, and eviction. The
+// state distinguishes
+//   * `gpu_resident`  — page lives in the block's GPU chunk;
+//   * `cpu_mapped`    — host PTE exists (unmap_mapping_range clears it);
+//   * `host_data`     — a host frame holds valid data for the page (stays
+//     true after unmapping until migration, and becomes true again after
+//     eviction — without remapping, which is why a re-page-in skips the
+//     unmap cost and produces Fig 13's lower cost levels);
+//   * `populated`     — the page has ever been given defined contents
+//     (zero-fill population or CPU initialization).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "gpu/gpu_memory.hpp"
+#include "hostos/unmap.hpp"
+
+namespace uvmsim {
+
+class VaBlockState {
+ public:
+  using PageMask = std::bitset<kPagesPerVaBlock>;
+
+  // -- Residency masks ----------------------------------------------------
+  const PageMask& gpu_resident() const noexcept { return gpu_resident_; }
+  const PageMask& cpu_mapped() const noexcept { return cpu_mapped_; }
+  const PageMask& host_data() const noexcept { return host_data_; }
+  const PageMask& populated() const noexcept { return populated_; }
+
+  bool is_gpu_resident(std::uint32_t page) const { return gpu_resident_[page]; }
+
+  void set_cpu_initialized(std::uint32_t page, CpuThreadMask toucher) {
+    cpu_mapped_.set(page);
+    host_data_.set(page);
+    populated_.set(page);
+    cpu_sharers_ |= toucher;
+  }
+
+  void set_gpu_resident(std::uint32_t page) {
+    gpu_resident_.set(page);
+    populated_.set(page);
+    host_data_.reset(page);  // GPU copy is now the authoritative one
+  }
+
+  /// unmap_mapping_range() effect: host PTEs gone, data still in frames.
+  std::uint32_t unmap_cpu_pages() {
+    const auto n = static_cast<std::uint32_t>(cpu_mapped_.count());
+    cpu_mapped_.reset();
+    return n;
+  }
+
+  /// Eviction effect: all GPU-resident pages move to host frames but are
+  /// NOT remapped into the CPU page table (lazy remap on CPU access).
+  std::uint32_t evict_to_host() {
+    std::uint32_t moved = 0;
+    for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
+      if (gpu_resident_[i]) {
+        host_data_.set(i);
+        ++moved;
+      }
+    }
+    gpu_resident_.reset();
+    chunk_.reset();
+    return moved;
+  }
+
+  // -- GPU backing chunk ---------------------------------------------------
+  std::optional<GpuMemory::ChunkId> chunk() const noexcept { return chunk_; }
+  void set_chunk(GpuMemory::ChunkId chunk) noexcept { chunk_ = chunk; }
+  bool has_chunk() const noexcept { return chunk_.has_value(); }
+
+  // -- First-touch / DMA state ----------------------------------------------
+  bool dma_mapped() const noexcept { return dma_mapped_; }
+  void set_dma_mapped() noexcept { dma_mapped_ = true; }
+  bool ever_on_gpu() const noexcept { return ever_on_gpu_; }
+  void set_ever_on_gpu() noexcept { ever_on_gpu_ = true; }
+
+  // -- Host-thread sharing (drives the unmap/IPI cost, Fig 11) -------------
+  CpuThreadMask cpu_sharers() const noexcept { return cpu_sharers_; }
+
+  std::uint32_t gpu_resident_count() const noexcept {
+    return static_cast<std::uint32_t>(gpu_resident_.count());
+  }
+  std::uint32_t cpu_mapped_count() const noexcept {
+    return static_cast<std::uint32_t>(cpu_mapped_.count());
+  }
+
+ private:
+  PageMask gpu_resident_;
+  PageMask cpu_mapped_;
+  PageMask host_data_;
+  PageMask populated_;
+  CpuThreadMask cpu_sharers_ = 0;
+  std::optional<GpuMemory::ChunkId> chunk_;
+  bool dma_mapped_ = false;
+  bool ever_on_gpu_ = false;
+};
+
+}  // namespace uvmsim

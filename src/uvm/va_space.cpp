@@ -1,0 +1,81 @@
+#include "uvm/va_space.hpp"
+
+#include <utility>
+
+namespace uvmsim {
+
+PageId AllocLayout::add(std::uint64_t bytes) {
+  const PageId base = next_page_;
+  const std::uint64_t pages = ceil_div(bytes, kPageSize);
+  const std::uint64_t blocks = ceil_div(pages, kPagesPerVaBlock);
+  next_page_ += blocks * kPagesPerVaBlock;
+  return base;
+}
+
+const AllocationInfo& VaSpace::allocate(std::uint64_t bytes, std::string name,
+                                        HostInit init, MemAdvise advise) {
+  AllocationInfo info;
+  info.id = static_cast<AllocId>(allocations_.size());
+  info.name = std::move(name);
+  info.first_page = layout_.add(bytes);
+  info.pages = ceil_div(bytes, kPageSize);
+  info.init = init;
+  info.advise = advise;
+
+  blocks_.resize(layout_.total_blocks());
+  vmas_.insert(info.first_page, info.first_page + info.pages, info.id,
+               info.name);
+  allocations_.push_back(info);
+  apply_host_init(allocations_.back());
+  return allocations_.back();
+}
+
+void VaSpace::apply_host_init(const AllocationInfo& alloc) {
+  if (alloc.init.pattern == HostInit::Pattern::kNone) return;
+  const std::uint32_t threads = std::max(1u, alloc.init.threads);
+
+  for (std::uint64_t i = 0; i < alloc.pages; ++i) {
+    const PageId page = alloc.first_page + i;
+    std::uint32_t toucher = 0;
+    switch (alloc.init.pattern) {
+      case HostInit::Pattern::kSingleThread:
+        toucher = 0;
+        break;
+      case HostInit::Pattern::kChunked:
+        toucher = static_cast<std::uint32_t>(i * threads / alloc.pages);
+        break;
+      case HostInit::Pattern::kInterleaved:
+        toucher = static_cast<std::uint32_t>(i % threads);
+        break;
+      case HostInit::Pattern::kNone:
+        break;
+    }
+    block(va_block_of(page))
+        .set_cpu_initialized(page_index_in_block(page),
+                             CpuThreadMask{1} << (toucher % 64));
+    host_pt_.map(page, next_host_frame_++);
+  }
+}
+
+MemAdvise VaSpace::advise_of(PageId page) const {
+  const auto vma = vmas_.find(page);
+  if (!vma) return MemAdvise::kNone;
+  return allocations_[vma->alloc].advise;
+}
+
+std::uint32_t VaSpace::unmap_block_cpu(VaBlockId id) {
+  VaBlockState& b = block(id);
+  const PageId base = first_page_of(id);
+  for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
+    if (b.cpu_mapped()[i]) host_pt_.unmap(base + i);
+  }
+  return b.unmap_cpu_pages();
+}
+
+std::uint64_t VaSpace::gpu_resident_pages() const {
+  std::uint64_t n = 0;
+  for (const auto& b : blocks_) n += b.gpu_resident_count();
+  return n;
+}
+
+}  // namespace uvmsim

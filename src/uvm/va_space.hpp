@@ -1,0 +1,121 @@
+// Managed virtual address space: cudaMallocManaged-style allocations.
+//
+// Allocations are VABlock-aligned (real UVM splits every managed range
+// into 2 MB logical VABlocks, §2.2) and registered as host VMAs. Host
+// initialization patterns record which CPU threads touched which pages —
+// the input to the unmap/TLB-shootdown cost model (Fig 11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hostos/page_table.hpp"
+#include "hostos/vma.hpp"
+#include "uvm/va_block.hpp"
+
+namespace uvmsim {
+
+/// How the host application initializes an allocation before kernel launch.
+struct HostInit {
+  enum class Pattern : std::uint8_t {
+    kNone,         // never touched by CPU: GPU first-touch zero-populates
+    kSingleThread, // one thread writes everything (memset/for-loop)
+    kChunked,      // OpenMP static schedule: thread t owns a contiguous slab
+    kInterleaved,  // OpenMP fine-grained/boxed: threads interleave per page
+  };
+  Pattern pattern = Pattern::kSingleThread;
+  std::uint32_t threads = 1;
+
+  static HostInit none() { return {Pattern::kNone, 0}; }
+  static HostInit single() { return {Pattern::kSingleThread, 1}; }
+  static HostInit chunked(std::uint32_t t) { return {Pattern::kChunked, t}; }
+  static HostInit interleaved(std::uint32_t t) {
+    return {Pattern::kInterleaved, t};
+  }
+};
+
+/// cudaMemAdvise-style placement advice per allocation.
+enum class MemAdvise : std::uint8_t {
+  kNone,                   // demand paging with migration (default)
+  kPreferredLocationHost,  // pin to host; GPU accesses resolve remotely
+                           // over DMA mappings (the EMOGI-style pattern
+                           // the paper's related work applies to graphs)
+};
+
+struct AllocationInfo {
+  AllocId id = 0;
+  std::string name;
+  PageId first_page = 0;
+  std::uint64_t pages = 0;
+  HostInit init;
+  MemAdvise advise = MemAdvise::kNone;
+};
+
+/// Deterministic VABlock-aligned layout shared by workload builders and
+/// the VA space: allocation i starts at the next free VABlock boundary.
+class AllocLayout {
+ public:
+  /// Reserve `bytes` and return the first page of the new allocation.
+  PageId add(std::uint64_t bytes);
+
+  PageId next_free_page() const noexcept { return next_page_; }
+  std::uint64_t total_blocks() const noexcept {
+    return next_page_ / kPagesPerVaBlock;
+  }
+
+ private:
+  PageId next_page_ = 0;
+};
+
+class VaSpace {
+ public:
+  /// Allocate `bytes` of managed memory and apply the host-init pattern.
+  /// Returns the allocation record (placement matches AllocLayout).
+  const AllocationInfo& allocate(std::uint64_t bytes, std::string name,
+                                 HostInit init,
+                                 MemAdvise advise = MemAdvise::kNone);
+
+  /// Placement advice for the allocation containing `page` (kNone for
+  /// unmapped pages).
+  MemAdvise advise_of(PageId page) const;
+
+  VaBlockState& block(VaBlockId id) { return blocks_.at(id); }
+  const VaBlockState& block(VaBlockId id) const { return blocks_.at(id); }
+  bool has_block(VaBlockId id) const noexcept { return id < blocks_.size(); }
+  std::uint64_t block_count() const noexcept { return blocks_.size(); }
+
+  bool is_gpu_resident(PageId page) const {
+    const VaBlockId b = va_block_of(page);
+    return b < blocks_.size() &&
+           blocks_[b].is_gpu_resident(page_index_in_block(page));
+  }
+
+  const std::vector<AllocationInfo>& allocations() const noexcept {
+    return allocations_;
+  }
+  const VmaMap& vmas() const noexcept { return vmas_; }
+  const PageTable& host_page_table() const noexcept { return host_pt_; }
+  std::uint64_t total_pages() const noexcept { return layout_.next_free_page(); }
+
+  /// Aggregate GPU-resident pages across all blocks (invariant checks).
+  std::uint64_t gpu_resident_pages() const;
+
+  /// unmap_mapping_range() effect on one VABlock: clear the block's
+  /// CPU-mapped mask and remove the corresponding host PTEs. Returns the
+  /// number of pages unmapped.
+  std::uint32_t unmap_block_cpu(VaBlockId id);
+
+ private:
+  void apply_host_init(const AllocationInfo& alloc);
+
+  AllocLayout layout_;
+  std::vector<AllocationInfo> allocations_;
+  std::vector<VaBlockState> blocks_;
+  VmaMap vmas_;
+  PageTable host_pt_;
+  std::uint64_t next_host_frame_ = 0;
+};
+
+}  // namespace uvmsim

@@ -1,0 +1,26 @@
+// Internal helpers shared by the workload builders.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "gpu/kernel_desc.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim::detail {
+
+/// Append the unique pages covering bytes [offset, offset+len) of an
+/// allocation that starts at `base_page`. Pages already in the group are
+/// skipped (the hardware coalescer emits one request per page per warp).
+void add_span(AccessGroup& group, PageId base_page, std::uint64_t offset,
+              std::uint64_t len, AccessType type);
+
+/// Append a single page access if not already present; a write upgrades an
+/// existing read to a write.
+void add_page(AccessGroup& group, PageId page, AccessType type);
+
+/// Compute the VABlock-aligned layout for a spec's allocations and return
+/// the base page of each (mirrors VaSpace::allocate placement).
+std::vector<PageId> layout_bases(const std::vector<AllocSpec>& allocs);
+
+}  // namespace uvmsim::detail

@@ -1,0 +1,73 @@
+// Gauss-Seidel 5-point stencil sweeps over a 2D double grid (+ fixed rhs).
+//
+// Dense row-order sweeps: the fault frontier is a narrow band (Table 3:
+// ~2.3 VABlocks/batch, ~22 faults/VABlock), and repeated sweeps re-walk
+// the grid front to back — the access pattern that makes LRU eviction
+// degrade to evict-earliest under oversubscription (Fig 16c).
+#include "workloads/detail.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+WorkloadSpec make_gauss_seidel(const GaussSeidelParams& params) {
+  WorkloadSpec spec;
+  spec.name = "gauss-seidel";
+  const std::uint64_t row_bytes = static_cast<std::uint64_t>(params.nx) * 8;
+  const std::uint64_t bytes = row_bytes * params.ny;
+  const HostInit init = params.host_init_threads > 1
+                            ? HostInit::chunked(params.host_init_threads)
+                            : HostInit::single();
+  spec.allocs = {{bytes, "u", init}, {bytes, "rhs", init}};
+  const auto base = detail::layout_bases(spec.allocs);
+
+  const std::uint64_t pages_per_row = ceil_div(row_bytes, kPageSize);
+  const std::uint64_t blocks_per_sweep =
+      ceil_div(params.ny, params.rows_per_block);
+
+  spec.kernel.name = spec.name;
+  for (std::uint32_t sweep = 0; sweep < params.sweeps; ++sweep) {
+    for (std::uint64_t blk = 0; blk < blocks_per_sweep; ++blk) {
+      BlockProgram block;
+      const std::uint64_t row0 = blk * params.rows_per_block;
+      for (std::uint32_t r = 0; r < params.rows_per_block; ++r) {
+        const std::uint64_t row = row0 + r;
+        if (row >= params.ny) break;
+        WarpProgram warp;
+        // Walk the row one page-wide segment at a time: read the segment
+        // of rows row-1, row, row+1 plus rhs, then update in place.
+        for (std::uint64_t seg = 0; seg < pages_per_row; ++seg) {
+          const std::uint64_t off = seg * kPageSize;
+          const std::uint64_t len =
+              std::min<std::uint64_t>(kPageSize, row_bytes - off);
+          AccessGroup reads;
+          if (row > 0) {
+            detail::add_span(reads, base[0], (row - 1) * row_bytes + off, len,
+                             AccessType::kRead);
+          }
+          detail::add_span(reads, base[0], row * row_bytes + off, len,
+                           AccessType::kRead);
+          if (row + 1 < params.ny) {
+            detail::add_span(reads, base[0], (row + 1) * row_bytes + off, len,
+                             AccessType::kRead);
+          }
+          detail::add_span(reads, base[1], row * row_bytes + off, len,
+                           AccessType::kRead);
+          reads.compute_ns = 900;
+          AccessGroup writes;
+          detail::add_span(writes, base[0], row * row_bytes + off, len,
+                           AccessType::kWrite);
+          writes.compute_ns = 200;
+          warp.groups.push_back(std::move(reads));
+          warp.groups.push_back(std::move(writes));
+        }
+        block.warps.push_back(std::move(warp));
+      }
+      if (!block.warps.empty()) {
+        spec.kernel.blocks.push_back(std::move(block));
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,77 @@
+// Tiled GEMM C = A * B (cuBLAS-style thread-block tiling).
+//
+// Each thread block owns a tile x tile area of C and iterates over k
+// panels, reading a row panel of A and a column panel of B per step. The
+// panel reuse across blocks creates cross-µTLB duplicates; the k-loop
+// over panels creates the "phases" in sgemm's batch time series (Fig 8);
+// and the C-tile writes only after a full panel sweep keeps the write
+// faults behind the reads (scoreboard ordering).
+#include "workloads/detail.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+WorkloadSpec make_gemm(const GemmParams& params) {
+  WorkloadSpec spec;
+  spec.name = params.double_precision ? "dgemm" : "sgemm";
+  const std::uint64_t n = params.n;
+  const std::uint64_t elem = params.double_precision ? 8 : 4;
+  const std::uint64_t bytes = n * n * elem;
+  const HostInit init = params.host_init_threads > 1
+                            ? HostInit::chunked(params.host_init_threads)
+                            : HostInit::single();
+  spec.allocs = {{bytes, "A", init},
+                 {bytes, "B", init},
+                 {bytes, "C", HostInit::none()}};
+  const auto base = detail::layout_bases(spec.allocs);
+
+  const std::uint64_t tiles = n / params.tile;  // tiles per dimension
+  const std::uint64_t row_bytes = n * elem;
+  const std::uint32_t wpb = params.warps_per_block;
+  const std::uint32_t rows_per_warp = params.tile / wpb;
+
+  spec.kernel.name = spec.name;
+  spec.kernel.blocks.reserve(tiles * tiles);
+  for (std::uint64_t bi = 0; bi < tiles; ++bi) {
+    for (std::uint64_t bj = 0; bj < tiles; ++bj) {
+      BlockProgram block;
+      for (std::uint32_t w = 0; w < wpb; ++w) {
+        WarpProgram warp;
+        // k-panel loop: read this warp's slice of the A row panel and the
+        // B column panel, accumulate, repeat.
+        for (std::uint64_t kk = 0; kk < tiles; ++kk) {
+          AccessGroup reads;
+          for (std::uint32_t r = 0; r < rows_per_warp; ++r) {
+            const std::uint64_t a_row =
+                bi * params.tile + w * rows_per_warp + r;
+            detail::add_span(reads, base[0],
+                             a_row * row_bytes + kk * params.tile * elem,
+                             params.tile * elem, AccessType::kRead);
+            const std::uint64_t b_row =
+                kk * params.tile + w * rows_per_warp + r;
+            detail::add_span(reads, base[1],
+                             b_row * row_bytes + bj * params.tile * elem,
+                             params.tile * elem, AccessType::kRead);
+          }
+          reads.compute_ns = 2000;  // tile FMAs
+          warp.groups.push_back(std::move(reads));
+        }
+        // Write the warp's rows of the C tile.
+        AccessGroup writes;
+        for (std::uint32_t r = 0; r < rows_per_warp; ++r) {
+          const std::uint64_t c_row = bi * params.tile + w * rows_per_warp + r;
+          detail::add_span(writes, base[2],
+                           c_row * row_bytes + bj * params.tile * elem,
+                           params.tile * elem, AccessType::kWrite);
+        }
+        writes.compute_ns = 300;
+        warp.groups.push_back(std::move(writes));
+        block.warps.push_back(std::move(warp));
+      }
+      spec.kernel.blocks.push_back(std::move(block));
+    }
+  }
+  return spec;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,208 @@
+// Section 3 microbenchmarks plus the Regular/Random synthetics of
+// Tables 2 and 3.
+#include "common/rng.hpp"
+#include "workloads/detail.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+using detail::add_page;
+using detail::layout_bases;
+
+WorkloadSpec make_vecadd_paged(std::uint32_t threads,
+                               std::uint32_t statements) {
+  // Listing 1: each thread touches the first float of its own page, and
+  // each statement s moves all threads one page stride further. One read
+  // group (a and b pages, issued back-to-back before the FADD scoreboard
+  // stall) then one write group (c pages) per statement.
+  WorkloadSpec spec;
+  spec.name = "vecadd-paged";
+  const std::uint64_t pages_per_vec =
+      static_cast<std::uint64_t>(threads) * statements;
+  const std::uint64_t bytes = pages_per_vec * kPageSize;
+  spec.allocs = {{bytes, "a", HostInit::single()},
+                 {bytes, "b", HostInit::single()},
+                 {bytes, "c", HostInit::none()}};
+  const auto base = layout_bases(spec.allocs);
+
+  const std::uint32_t warps = (threads + 31) / 32;
+  BlockProgram block;
+  block.warps.resize(warps);
+  for (std::uint32_t w = 0; w < warps; ++w) {
+    WarpProgram& warp = block.warps[w];
+    for (std::uint32_t s = 0; s < statements; ++s) {
+      AccessGroup reads;
+      AccessGroup writes;
+      for (std::uint32_t lane = 0; lane < 32; ++lane) {
+        const std::uint32_t tid = w * 32 + lane;
+        if (tid >= threads) break;
+        const std::uint64_t page =
+            static_cast<std::uint64_t>(s) * threads + tid;
+        add_page(reads, base[0] + page, AccessType::kRead);
+        add_page(reads, base[1] + page, AccessType::kRead);
+        add_page(writes, base[2] + page, AccessType::kWrite);
+      }
+      reads.compute_ns = 500;
+      writes.compute_ns = 200;
+      warp.groups.push_back(std::move(reads));
+      warp.groups.push_back(std::move(writes));
+    }
+  }
+  spec.kernel.name = spec.name;
+  spec.kernel.blocks.push_back(std::move(block));
+  return spec;
+}
+
+WorkloadSpec make_vecadd_coalesced(std::uint64_t elements,
+                                   std::uint32_t warps_per_block) {
+  WorkloadSpec spec;
+  spec.name = "vecadd-coalesced";
+  const std::uint64_t bytes = elements * sizeof(float);
+  spec.allocs = {{bytes, "a", HostInit::single()},
+                 {bytes, "b", HostInit::single()},
+                 {bytes, "c", HostInit::none()}};
+  const auto base = layout_bases(spec.allocs);
+
+  const std::uint64_t warps = ceil_div(elements, 32);
+  const std::uint64_t blocks = ceil_div(warps, warps_per_block);
+  spec.kernel.name = spec.name;
+  spec.kernel.blocks.reserve(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    BlockProgram block;
+    for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+      const std::uint64_t warp_id = b * warps_per_block + w;
+      if (warp_id >= warps) break;
+      const std::uint64_t offset = warp_id * 32 * sizeof(float);
+      const std::uint64_t len =
+          std::min<std::uint64_t>(32, elements - warp_id * 32) *
+          sizeof(float);
+      WarpProgram warp;
+      AccessGroup reads;
+      detail::add_span(reads, base[0], offset, len, AccessType::kRead);
+      detail::add_span(reads, base[1], offset, len, AccessType::kRead);
+      reads.compute_ns = 300;
+      AccessGroup writes;
+      detail::add_span(writes, base[2], offset, len, AccessType::kWrite);
+      writes.compute_ns = 100;
+      warp.groups.push_back(std::move(reads));
+      warp.groups.push_back(std::move(writes));
+      block.warps.push_back(std::move(warp));
+    }
+    spec.kernel.blocks.push_back(std::move(block));
+  }
+  return spec;
+}
+
+WorkloadSpec make_vecadd_prefetch(std::uint32_t pages_per_vector) {
+  // Fig 5: prefetch.global.L2 for every page of a, b and c from a single
+  // warp, then the additions run against (mostly) resident data.
+  WorkloadSpec spec;
+  spec.name = "vecadd-prefetch";
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(pages_per_vector) * kPageSize;
+  spec.allocs = {{bytes, "a", HostInit::single()},
+                 {bytes, "b", HostInit::single()},
+                 {bytes, "c", HostInit::none()}};
+  const auto base = layout_bases(spec.allocs);
+
+  BlockProgram block;
+  WarpProgram warp;
+  AccessGroup prefetch;
+  for (std::uint32_t v = 0; v < 3; ++v) {
+    for (std::uint32_t p = 0; p < pages_per_vector; ++p) {
+      prefetch.accesses.push_back({base[v] + p, AccessType::kPrefetch});
+    }
+  }
+  prefetch.compute_ns = 100;
+  warp.groups.push_back(std::move(prefetch));
+
+  for (std::uint32_t p = 0; p < pages_per_vector; ++p) {
+    AccessGroup reads;
+    add_page(reads, base[0] + p, AccessType::kRead);
+    add_page(reads, base[1] + p, AccessType::kRead);
+    reads.compute_ns = 200;
+    AccessGroup writes;
+    add_page(writes, base[2] + p, AccessType::kWrite);
+    writes.compute_ns = 100;
+    warp.groups.push_back(std::move(reads));
+    warp.groups.push_back(std::move(writes));
+  }
+  block.warps.push_back(std::move(warp));
+  spec.kernel.name = spec.name;
+  spec.kernel.blocks.push_back(std::move(block));
+  return spec;
+}
+
+WorkloadSpec make_regular(std::uint64_t total_bytes,
+                          std::uint32_t warps_per_block, std::uint32_t blocks,
+                          std::uint32_t pages_per_group) {
+  // Chunked-ownership sequential reads: warp i owns pages
+  // [i*chunk, (i+1)*chunk) and walks them pages_per_group at a time. With
+  // every warp's chunk in a different part of the space, each batch mixes
+  // small fault counts from many VABlocks (Table 2/3 "Regular" shape).
+  WorkloadSpec spec;
+  spec.name = "regular";
+  spec.allocs = {{total_bytes, "data", HostInit::single()}};
+  const auto base = layout_bases(spec.allocs);
+
+  const std::uint64_t pages = ceil_div(total_bytes, kPageSize);
+  const std::uint64_t total_warps =
+      static_cast<std::uint64_t>(warps_per_block) * blocks;
+  const std::uint64_t chunk = std::max<std::uint64_t>(1, pages / total_warps);
+
+  spec.kernel.name = spec.name;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    BlockProgram block;
+    for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+      const std::uint64_t warp_id =
+          static_cast<std::uint64_t>(b) * warps_per_block + w;
+      const std::uint64_t first = warp_id * chunk;
+      if (first >= pages) break;
+      const std::uint64_t last = std::min(pages, first + chunk);
+      WarpProgram warp;
+      for (std::uint64_t p = first; p < last; p += pages_per_group) {
+        AccessGroup group;
+        for (std::uint64_t q = p;
+             q < std::min<std::uint64_t>(last, p + pages_per_group); ++q) {
+          add_page(group, base[0] + q, AccessType::kRead);
+        }
+        group.compute_ns = 0;  // dependence-free saturating microbenchmark
+        warp.groups.push_back(std::move(group));
+      }
+      block.warps.push_back(std::move(warp));
+    }
+    if (!block.warps.empty()) spec.kernel.blocks.push_back(std::move(block));
+  }
+  return spec;
+}
+
+WorkloadSpec make_random(std::uint64_t total_bytes, std::uint64_t seed,
+                         std::uint32_t warps_per_block, std::uint32_t blocks,
+                         std::uint32_t accesses_per_warp) {
+  WorkloadSpec spec;
+  spec.name = "random";
+  spec.allocs = {{total_bytes, "data", HostInit::single()}};
+  const auto base = layout_bases(spec.allocs);
+  const std::uint64_t pages = ceil_div(total_bytes, kPageSize);
+
+  Xoshiro256 rng(seed);
+  spec.kernel.name = spec.name;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    BlockProgram block;
+    for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+      WarpProgram warp;
+      for (std::uint32_t g = 0; g < accesses_per_warp / 2; ++g) {
+        AccessGroup group;
+        add_page(group, base[0] + rng.uniform(pages), AccessType::kRead);
+        add_page(group, base[0] + rng.uniform(pages), AccessType::kRead);
+        group.compute_ns = 0;  // dependence-free saturating microbenchmark
+        warp.groups.push_back(std::move(group));
+      }
+      block.warps.push_back(std::move(warp));
+    }
+    spec.kernel.blocks.push_back(std::move(block));
+  }
+  return spec;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,59 @@
+// BabelStream-style triad: a[i] = b[i] + scalar * c[i] over doubles.
+//
+// Coalesced streaming through three arrays: the in-flight block frontier
+// covers only a few VABlocks at a time (Table 3: ~4 VABlocks/batch with
+// high faults-per-VABlock), and consecutive warps in a block share pages,
+// producing same-µTLB duplicates (Fig 8).
+#include "workloads/detail.hpp"
+#include "workloads/workload.hpp"
+
+namespace uvmsim {
+
+WorkloadSpec make_stream_triad(std::uint64_t elements,
+                               std::uint32_t iterations) {
+  WorkloadSpec spec;
+  spec.name = "stream";
+  const std::uint64_t bytes = elements * sizeof(double);
+  spec.allocs = {{bytes, "a", HostInit::single()},
+                 {bytes, "b", HostInit::single()},
+                 {bytes, "c", HostInit::single()}};
+  const auto base = detail::layout_bases(spec.allocs);
+
+  constexpr std::uint32_t kWarpsPerBlock = 8;
+  const std::uint64_t warps = ceil_div(elements, 32);
+  const std::uint64_t blocks = ceil_div(warps, kWarpsPerBlock);
+
+  // BabelStream repeats the triad kernel: each iteration is a fresh grid
+  // sweep over the arrays (front to back), which is what drives LRU
+  // re-page-in under oversubscription.
+  spec.kernel.name = spec.name;
+  spec.kernel.blocks.reserve(blocks * iterations);
+  for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      BlockProgram block;
+      for (std::uint32_t w = 0; w < kWarpsPerBlock; ++w) {
+        const std::uint64_t warp_id = b * kWarpsPerBlock + w;
+        if (warp_id >= warps) break;
+        const std::uint64_t offset = warp_id * 32 * sizeof(double);
+        const std::uint64_t len =
+            std::min<std::uint64_t>(32, elements - warp_id * 32) *
+            sizeof(double);
+        WarpProgram warp;
+        AccessGroup reads;
+        detail::add_span(reads, base[1], offset, len, AccessType::kRead);
+        detail::add_span(reads, base[2], offset, len, AccessType::kRead);
+        reads.compute_ns = 250;
+        AccessGroup writes;
+        detail::add_span(writes, base[0], offset, len, AccessType::kWrite);
+        writes.compute_ns = 100;
+        warp.groups.push_back(std::move(reads));
+        warp.groups.push_back(std::move(writes));
+        block.warps.push_back(std::move(warp));
+      }
+      spec.kernel.blocks.push_back(std::move(block));
+    }
+  }
+  return spec;
+}
+
+}  // namespace uvmsim

@@ -1,0 +1,104 @@
+// Workload specifications: the paper's benchmarks as page-access programs.
+//
+// Each builder reproduces the page-level locality structure of the
+// original CUDA application — what the UVM driver actually sees — using a
+// deterministic AllocLayout so the generated page ids match the VA space
+// the simulator allocates at launch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/kernel_desc.hpp"
+#include "uvm/va_space.hpp"
+
+namespace uvmsim {
+
+struct AllocSpec {
+  std::uint64_t bytes = 0;
+  std::string name;
+  HostInit init;
+  MemAdvise advise = MemAdvise::kNone;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::vector<AllocSpec> allocs;
+  KernelDesc kernel;
+
+  std::uint64_t total_alloc_bytes() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& a : allocs) n += a.bytes;
+    return n;
+  }
+};
+
+// ---- Microbenchmarks (Section 3) -----------------------------------------
+
+/// Listing 1: one warp, each thread one page apart, three a+b=c statements.
+WorkloadSpec make_vecadd_paged(std::uint32_t threads = 32,
+                               std::uint32_t statements = 3);
+
+/// Coalesced vector add c = a + b over `elements` floats.
+WorkloadSpec make_vecadd_coalesced(std::uint64_t elements,
+                                   std::uint32_t warps_per_block = 8);
+
+/// Fig 5: one warp issues prefetch.global.L2 for all of a, b, c upfront.
+WorkloadSpec make_vecadd_prefetch(std::uint32_t pages_per_vector = 128);
+
+/// "Regular" synthetic: warps own contiguous chunks, read sequentially.
+WorkloadSpec make_regular(std::uint64_t total_bytes,
+                          std::uint32_t warps_per_block = 4,
+                          std::uint32_t blocks = 320,
+                          std::uint32_t pages_per_group = 2);
+
+/// "Random" synthetic: same shape, pages drawn uniformly from the space.
+WorkloadSpec make_random(std::uint64_t total_bytes, std::uint64_t seed,
+                         std::uint32_t warps_per_block = 4,
+                         std::uint32_t blocks = 320,
+                         std::uint32_t accesses_per_warp = 64);
+
+// ---- HPC applications (Table 1) -------------------------------------------
+
+/// BabelStream triad a = b + s*c over doubles.
+WorkloadSpec make_stream_triad(std::uint64_t elements,
+                               std::uint32_t iterations = 1);
+
+struct GemmParams {
+  std::uint32_t n = 2048;          // square matrices
+  std::uint32_t tile = 64;         // thread-block tile (tile x tile of C)
+  std::uint32_t warps_per_block = 4;
+  bool double_precision = false;   // sgemm vs dgemm
+  std::uint32_t host_init_threads = 1;  // parallel data initialization
+};
+/// cuBLAS-style tiled GEMM C = A * B.
+WorkloadSpec make_gemm(const GemmParams& params);
+
+/// cuFFT-like out-of-place Stockham sweep over complex<float>.
+WorkloadSpec make_fft(std::uint64_t elements,
+                      std::uint32_t elems_per_warp = 512);
+
+struct GaussSeidelParams {
+  std::uint32_t nx = 2048;   // doubles per row
+  std::uint32_t ny = 1024;   // rows
+  std::uint32_t sweeps = 2;
+  std::uint32_t rows_per_block = 8;
+  std::uint32_t host_init_threads = 1;
+};
+/// Red-black Gauss-Seidel 5-point stencil sweeps.
+WorkloadSpec make_gauss_seidel(const GaussSeidelParams& params);
+
+struct HpgmgParams {
+  std::uint32_t fine_elements_log2 = 21;  // doubles on the finest level
+  std::uint32_t levels = 4;
+  std::uint32_t vcycles = 2;
+  std::uint32_t smooth_passes = 2;
+  std::uint32_t host_threads = 32;        // OpenMP init (Fig 11 driver)
+  bool interleaved_init = true;           // boxed/interleaved host touch
+};
+/// HPGMG-FV proxy: V-cycles over a level hierarchy with boxed host init.
+WorkloadSpec make_hpgmg(const HpgmgParams& params);
+
+}  // namespace uvmsim

@@ -1,0 +1,156 @@
+#include "gpu/fault_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+FaultRecord fault(PageId page, SimTime timestamp = 0) {
+  FaultRecord f;
+  f.page = page;
+  f.timestamp = timestamp;
+  return f;
+}
+
+TEST(FaultBuffer, FifoOrderPreserved) {
+  FaultBuffer buf(8);
+  for (PageId p = 0; p < 5; ++p) EXPECT_TRUE(buf.push(fault(p)));
+  const auto batch = buf.drain(5);
+  ASSERT_EQ(batch.size(), 5u);
+  for (PageId p = 0; p < 5; ++p) EXPECT_EQ(batch[p].page, p);
+}
+
+TEST(FaultBuffer, DrainRespectsLimit) {
+  FaultBuffer buf(16);
+  for (PageId p = 0; p < 10; ++p) buf.push(fault(p));
+  const auto first = buf.drain(4);
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(buf.size(), 6u);
+  const auto rest = buf.drain(100);
+  EXPECT_EQ(rest.size(), 6u);
+  EXPECT_EQ(rest.front().page, 4u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(FaultBuffer, OverflowDropsAndCounts) {
+  FaultBuffer buf(3);
+  EXPECT_TRUE(buf.push(fault(0)));
+  EXPECT_TRUE(buf.push(fault(1)));
+  EXPECT_TRUE(buf.push(fault(2)));
+  EXPECT_FALSE(buf.push(fault(3)));
+  EXPECT_FALSE(buf.push(fault(4)));
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.total_dropped_full(), 2u);
+  EXPECT_EQ(buf.total_pushed(), 3u);
+}
+
+TEST(FaultBuffer, FlushDiscardsEverything) {
+  FaultBuffer buf(8);
+  for (PageId p = 0; p < 6; ++p) buf.push(fault(p));
+  EXPECT_EQ(buf.flush(), 6u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.total_flushed(), 6u);
+  EXPECT_EQ(buf.flush(), 0u);
+}
+
+TEST(FaultBuffer, SpaceReusableAfterDrain) {
+  FaultBuffer buf(2);
+  buf.push(fault(0));
+  buf.push(fault(1));
+  EXPECT_FALSE(buf.push(fault(2)));
+  buf.drain(1);
+  EXPECT_TRUE(buf.push(fault(3)));
+  const auto batch = buf.drain(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].page, 1u);
+  EXPECT_EQ(batch[1].page, 3u);
+}
+
+TEST(FaultBuffer, DrainEmptyReturnsNothing) {
+  FaultBuffer buf(4);
+  EXPECT_TRUE(buf.drain(10).empty());
+}
+
+TEST(FaultBuffer, CapacityReported) {
+  FaultBuffer buf(4096);
+  EXPECT_EQ(buf.capacity(), 4096u);
+}
+
+TEST(FaultBuffer, DrainArrivedRespectsTimestamps) {
+  FaultBuffer buf(8);
+  buf.push(fault(0, 100));
+  buf.push(fault(1, 200));
+  buf.push(fault(2, 5000));
+  // At t=250 only the first two have arrived (pace keeps the read clock
+  // well short of 5000).
+  const auto batch = buf.drain_arrived(10, 250, /*pace_ns=*/10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].page, 0u);
+  EXPECT_EQ(batch[1].page, 1u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(FaultBuffer, DrainArrivedReaderCatchesUpAtItsPace) {
+  // Records arriving every 50 ns; a 100 ns/record reader keeps finding the
+  // next record already arrived and fills the batch ("read until the
+  // batch size limit is reached or no faults remain").
+  FaultBuffer buf(64);
+  for (PageId p = 0; p < 20; ++p) buf.push(fault(p, p * 50));
+  const auto batch = buf.drain_arrived(20, 0, /*pace_ns=*/100);
+  EXPECT_EQ(batch.size(), 20u);
+}
+
+TEST(FaultBuffer, DrainArrivedStarvesOnSlowArrivals) {
+  // Records every 1000 ns; a 100 ns reader starving at the head stops.
+  FaultBuffer buf(64);
+  for (PageId p = 0; p < 20; ++p) buf.push(fault(p, p * 1000));
+  const auto batch = buf.drain_arrived(20, 0, /*pace_ns=*/100);
+  EXPECT_LT(batch.size(), 5u);
+  EXPECT_GE(batch.size(), 1u);
+}
+
+TEST(FaultBuffer, NextArrival) {
+  FaultBuffer buf(8);
+  EXPECT_FALSE(buf.next_arrival().has_value());
+  buf.push(fault(0, 777));
+  ASSERT_TRUE(buf.next_arrival().has_value());
+  EXPECT_EQ(*buf.next_arrival(), 777u);
+}
+
+TEST(FaultBuffer, FlushArrivedKeepsInFlightRecords) {
+  FaultBuffer buf(8);
+  buf.push(fault(0, 100));
+  buf.push(fault(1, 200));
+  buf.push(fault(2, 9000));  // still in flight at flush time
+  EXPECT_EQ(buf.flush_arrived(500), 2u);
+  EXPECT_EQ(buf.size(), 1u);
+  ASSERT_TRUE(buf.next_arrival().has_value());
+  EXPECT_EQ(*buf.next_arrival(), 9000u);
+  EXPECT_EQ(buf.total_flushed(), 2u);
+}
+
+TEST(FaultBuffer, SortPendingRestoresArrivalOrder) {
+  FaultBuffer buf(8);
+  buf.push(fault(0, 300));
+  buf.push(fault(1, 100));
+  buf.push(fault(2, 200));
+  buf.sort_pending();
+  const auto batch = buf.drain(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].page, 1u);
+  EXPECT_EQ(batch[1].page, 2u);
+  EXPECT_EQ(batch[2].page, 0u);
+}
+
+TEST(FaultBuffer, SortIsStableForEqualTimestamps) {
+  FaultBuffer buf(8);
+  buf.push(fault(7, 100));
+  buf.push(fault(8, 100));
+  buf.sort_pending();
+  const auto batch = buf.drain(2);
+  EXPECT_EQ(batch[0].page, 7u);
+  EXPECT_EQ(batch[1].page, 8u);
+}
+
+}  // namespace
+}  // namespace uvmsim

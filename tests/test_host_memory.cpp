@@ -1,0 +1,62 @@
+#include "hostos/host_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace uvmsim {
+namespace {
+
+TEST(HostMemory, AllocatesDistinctFrames) {
+  HostMemory mem(16);
+  std::set<std::uint64_t> frames;
+  for (int i = 0; i < 16; ++i) {
+    const auto f = mem.alloc_frame();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(frames.insert(*f).second) << "duplicate frame " << *f;
+  }
+  EXPECT_EQ(mem.in_use(), 16u);
+  EXPECT_EQ(mem.free_frames(), 0u);
+}
+
+TEST(HostMemory, ExhaustionReturnsNullopt) {
+  HostMemory mem(2);
+  ASSERT_TRUE(mem.alloc_frame().has_value());
+  ASSERT_TRUE(mem.alloc_frame().has_value());
+  EXPECT_FALSE(mem.alloc_frame().has_value());
+}
+
+TEST(HostMemory, FreeRecyclesFrames) {
+  HostMemory mem(2);
+  const auto a = mem.alloc_frame();
+  const auto b = mem.alloc_frame();
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(mem.free_frame(*a));
+  const auto c = mem.alloc_frame();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(HostMemory, DoubleFreeRejected) {
+  HostMemory mem(4);
+  const auto a = mem.alloc_frame();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(mem.free_frame(*a));
+  EXPECT_FALSE(mem.free_frame(*a));
+  EXPECT_EQ(mem.in_use(), 0u);
+}
+
+TEST(HostMemory, FreeOutOfRangeRejected) {
+  HostMemory mem(4);
+  EXPECT_FALSE(mem.free_frame(100));
+  EXPECT_FALSE(mem.free_frame(4));
+}
+
+TEST(HostMemory, CapacityReported) {
+  HostMemory mem(1234);
+  EXPECT_EQ(mem.capacity(), 1234u);
+  EXPECT_EQ(mem.free_frames(), 1234u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,116 @@
+#include "analysis/log_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/system.hpp"
+
+namespace uvmsim {
+namespace {
+
+BatchRecord sample_record() {
+  BatchRecord rec;
+  rec.id = 7;
+  rec.start_ns = 1000;
+  rec.end_ns = 5000;
+  rec.phases.fetch_ns = 100;
+  rec.phases.unmap_ns = 200;
+  rec.phases.transfer_ns = 300;
+  rec.counters.raw_faults = 42;
+  rec.counters.unique_faults = 30;
+  rec.counters.dup_same_utlb = 10;
+  rec.counters.dup_cross_utlb = 2;
+  rec.counters.bytes_h2d = 1 << 20;
+  rec.counters.radix_grew = true;
+  rec.faults_per_sm = {0, 3, 0, 1};
+  rec.vablock_faults = {{5, 12}, {9, 18}};
+  rec.vablock_service_ns = {{5, 1500}, {9, 2500}};
+  rec.first_touch_blocks = {5};
+  rec.evicted_blocks = {1, 2};
+  return rec;
+}
+
+void expect_equal(const BatchRecord& a, const BatchRecord& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.start_ns, b.start_ns);
+  EXPECT_EQ(a.end_ns, b.end_ns);
+  EXPECT_EQ(a.phases.fetch_ns, b.phases.fetch_ns);
+  EXPECT_EQ(a.phases.unmap_ns, b.phases.unmap_ns);
+  EXPECT_EQ(a.phases.transfer_ns, b.phases.transfer_ns);
+  EXPECT_EQ(a.counters.raw_faults, b.counters.raw_faults);
+  EXPECT_EQ(a.counters.unique_faults, b.counters.unique_faults);
+  EXPECT_EQ(a.counters.dup_same_utlb, b.counters.dup_same_utlb);
+  EXPECT_EQ(a.counters.dup_cross_utlb, b.counters.dup_cross_utlb);
+  EXPECT_EQ(a.counters.bytes_h2d, b.counters.bytes_h2d);
+  EXPECT_EQ(a.counters.radix_grew, b.counters.radix_grew);
+  EXPECT_EQ(a.faults_per_sm, b.faults_per_sm);
+  EXPECT_EQ(a.vablock_faults, b.vablock_faults);
+  EXPECT_EQ(a.vablock_service_ns, b.vablock_service_ns);
+  EXPECT_EQ(a.first_touch_blocks, b.first_touch_blocks);
+  EXPECT_EQ(a.evicted_blocks, b.evicted_blocks);
+}
+
+TEST(LogIo, RoundTripsSingleRecord) {
+  const BatchRecord original = sample_record();
+  const std::string line = serialize_batch(original);
+  BatchRecord parsed;
+  ASSERT_TRUE(parse_batch(line, parsed));
+  expect_equal(original, parsed);
+}
+
+TEST(LogIo, RoundTripsEmptyRecord) {
+  BatchRecord original;
+  BatchRecord parsed;
+  ASSERT_TRUE(parse_batch(serialize_batch(original), parsed));
+  expect_equal(original, parsed);
+}
+
+TEST(LogIo, RejectsMalformedLines) {
+  BatchRecord rec;
+  EXPECT_FALSE(parse_batch("", rec));
+  EXPECT_FALSE(parse_batch("notbatch id=1", rec));
+  EXPECT_FALSE(parse_batch("batch id", rec));
+  EXPECT_FALSE(parse_batch("batch id=abc", rec));
+  EXPECT_FALSE(parse_batch("batch sm=1,x,3", rec));
+  EXPECT_FALSE(parse_batch("batch vabf=5", rec));
+}
+
+TEST(LogIo, ParseFailureLeavesRecordUntouched) {
+  BatchRecord rec = sample_record();
+  EXPECT_FALSE(parse_batch("batch id=oops", rec));
+  EXPECT_EQ(rec.id, 7u);  // unchanged
+}
+
+TEST(LogIo, StreamRoundTripSkipsGarbage) {
+  BatchLog log{sample_record(), sample_record()};
+  log[1].id = 8;
+  std::ostringstream out;
+  write_batch_log(out, log);
+
+  std::istringstream in("junk line\n" + out.str() + "\nbatch id=zzz\n");
+  const auto result = read_batch_log(in);
+  ASSERT_EQ(result.log.size(), 2u);
+  EXPECT_EQ(result.skipped_lines, 2u);
+  expect_equal(log[0], result.log[0]);
+  expect_equal(log[1], result.log[1]);
+}
+
+TEST(LogIo, RealRunRoundTripsExactly) {
+  System system(presets::scaled_titan_v(128));
+  const auto result = system.run(make_stream_triad(1 << 15));
+  ASSERT_FALSE(result.log.empty());
+
+  std::ostringstream out;
+  write_batch_log(out, result.log);
+  std::istringstream in(out.str());
+  const auto parsed = read_batch_log(in);
+  ASSERT_EQ(parsed.log.size(), result.log.size());
+  EXPECT_EQ(parsed.skipped_lines, 0u);
+  for (std::size_t i = 0; i < result.log.size(); ++i) {
+    expect_equal(result.log[i], parsed.log[i]);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

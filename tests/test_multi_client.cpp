@@ -1,0 +1,94 @@
+#include "core/multi_client.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+SystemConfig small_config() { return presets::scaled_titan_v(256); }
+
+TEST(MultiClient, RequiresOneSpecPerClient) {
+  MultiClientSystem multi(small_config(), 2);
+  EXPECT_THROW(multi.run({make_stream_triad(1 << 12)}),
+               std::invalid_argument);
+}
+
+TEST(MultiClient, SingleClientMatchesStandaloneFootprint) {
+  const auto spec = make_stream_triad(1 << 15);
+
+  System standalone(small_config());
+  const auto solo = standalone.run(spec);
+
+  MultiClientSystem multi(small_config(), 1);
+  const auto shared = multi.run({spec});
+
+  ASSERT_EQ(shared.per_client.size(), 1u);
+  // Same pages end up resident; batch counts are in the same ballpark
+  // (scheduling details may differ slightly).
+  EXPECT_EQ(multi.driver(0).va_space().gpu_resident_pages(),
+            standalone.driver().va_space().gpu_resident_pages());
+  EXPECT_GT(shared.per_client[0].log.size(), 0u);
+  EXPECT_NEAR(static_cast<double>(shared.per_client[0].log.size()),
+              static_cast<double>(solo.log.size()),
+              0.35 * static_cast<double>(solo.log.size()));
+}
+
+TEST(MultiClient, AllClientsComplete) {
+  MultiClientSystem multi(small_config(), 3);
+  const auto result = multi.run({make_stream_triad(1 << 14),
+                                 make_vecadd_coalesced(1 << 14),
+                                 make_stream_triad(1 << 13)});
+  ASSERT_EQ(result.per_client.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_GT(result.per_client[i].total_faults, 0u) << i;
+    EXPECT_GT(multi.driver(i).va_space().gpu_resident_pages(), 0u) << i;
+  }
+  EXPECT_GT(result.makespan_ns, 0u);
+  EXPECT_LE(result.worker_busy_ns, result.makespan_ns);
+}
+
+TEST(MultiClient, DriverContentionSlowsClients) {
+  // The §6 serial-bottleneck prediction: the same workload takes longer
+  // per client when the worker also serves a second device.
+  const auto spec = make_stream_triad(1 << 16);
+
+  MultiClientSystem one(small_config(), 1);
+  const auto solo = one.run({spec});
+
+  MultiClientSystem two(small_config(), 2);
+  const auto pair = two.run({spec, spec});
+
+  EXPECT_GT(pair.per_client[0].kernel_time_ns,
+            solo.per_client[0].kernel_time_ns);
+  EXPECT_GT(pair.makespan_ns, solo.makespan_ns);
+}
+
+TEST(MultiClient, ClientsAreIsolated) {
+  // Different workloads per client: each client's VA space sees only its
+  // own allocations; evictions on one never touch the other.
+  SystemConfig cfg = presets::scaled_titan_v(16);  // client 0 oversubscribes
+  MultiClientSystem multi(cfg, 2);
+  const auto result = multi.run(
+      {make_stream_triad(1 << 20, 2), make_vecadd_coalesced(1 << 12)});
+  EXPECT_GT(result.per_client[0].evictions, 0u);
+  EXPECT_EQ(result.per_client[1].evictions, 0u);
+  EXPECT_LE(multi.driver(0).va_space().gpu_resident_pages() * kPageSize,
+            cfg.gpu.memory_bytes);
+}
+
+TEST(MultiClient, DeterministicAcrossRuns) {
+  const auto build = [] {
+    MultiClientSystem multi(small_config(), 2);
+    return multi.run({make_stream_triad(1 << 14), make_fft(1 << 13)});
+  };
+  const auto a = build();
+  const auto b = build();
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.batches_serviced, b.batches_serviced);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.per_client[i].total_faults, b.per_client[i].total_faults);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,81 @@
+#include "hostos/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(PageTable, MapTranslateUnmap) {
+  PageTable pt;
+  EXPECT_TRUE(pt.map(100, 7));
+  ASSERT_TRUE(pt.translate(100).has_value());
+  EXPECT_EQ(*pt.translate(100), 7u);
+  EXPECT_EQ(pt.mapped_count(), 1u);
+
+  const auto freed = pt.unmap(100);
+  ASSERT_TRUE(freed.has_value());
+  EXPECT_EQ(*freed, 7u);
+  EXPECT_FALSE(pt.translate(100).has_value());
+  EXPECT_EQ(pt.mapped_count(), 0u);
+}
+
+TEST(PageTable, DoubleMapRejected) {
+  PageTable pt;
+  EXPECT_TRUE(pt.map(5, 1));
+  EXPECT_FALSE(pt.map(5, 2));
+  EXPECT_EQ(*pt.translate(5), 1u);  // original mapping preserved
+}
+
+TEST(PageTable, UnmapMissingIsNullopt) {
+  PageTable pt;
+  EXPECT_FALSE(pt.unmap(9).has_value());
+  pt.map(8, 1);
+  EXPECT_FALSE(pt.unmap(9).has_value());
+}
+
+TEST(PageTable, SparseKeysAllocateSeparateSubtrees) {
+  PageTable pt;
+  const auto before = pt.table_pages();
+  pt.map(0, 1);
+  pt.map(1ULL << 27, 2);  // different L1 subtree (>= 512^3 pages apart)
+  EXPECT_GT(pt.table_pages(), before + 3);
+  EXPECT_EQ(*pt.translate(0), 1u);
+  EXPECT_EQ(*pt.translate(1ULL << 27), 2u);
+}
+
+TEST(PageTable, DenseKeysShareTables) {
+  PageTable pt;
+  pt.map(0, 0);
+  const auto after_first = pt.table_pages();
+  for (PageId p = 1; p < 512; ++p) pt.map(p, p);
+  EXPECT_EQ(pt.table_pages(), after_first);  // same leaf table
+  EXPECT_EQ(pt.mapped_count(), 512u);
+}
+
+TEST(PageTable, EmptyTablesAreFreed) {
+  PageTable pt;
+  const auto baseline = pt.table_pages();
+  for (PageId p = 0; p < 100; ++p) pt.map(p, p);
+  for (PageId p = 0; p < 100; ++p) pt.unmap(p);
+  EXPECT_EQ(pt.table_pages(), baseline);
+}
+
+TEST(PageTable, IsMappedMatchesTranslate) {
+  PageTable pt;
+  pt.map(42, 1);
+  EXPECT_TRUE(pt.is_mapped(42));
+  EXPECT_FALSE(pt.is_mapped(43));
+}
+
+TEST(PageTable, LargeRangeRoundTrip) {
+  PageTable pt;
+  for (PageId p = 0; p < 5000; p += 7) EXPECT_TRUE(pt.map(p, p * 2));
+  for (PageId p = 0; p < 5000; p += 7) {
+    ASSERT_TRUE(pt.translate(p).has_value()) << p;
+    EXPECT_EQ(*pt.translate(p), p * 2);
+  }
+  for (PageId p = 1; p < 5000; p += 7) EXPECT_FALSE(pt.translate(p).has_value());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "interconnect/copy_engine.hpp"
+#include "interconnect/pcie.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(PcieLink, TransferTimeIsLatencyPlusWire) {
+  PcieConfig cfg;
+  cfg.bytes_per_ns = 10.0;
+  cfg.per_op_latency_ns = 1000;
+  PcieLink link(cfg);
+  EXPECT_EQ(link.transfer_time(0), 0u);
+  EXPECT_EQ(link.transfer_time(10000), 1000u + 1000u);
+  EXPECT_EQ(link.transfer_time(1), 1000u);  // sub-ns wire time truncates
+}
+
+TEST(PcieLink, InterruptLatencyFromConfig) {
+  PcieConfig cfg;
+  cfg.interrupt_latency_ns = 777;
+  PcieLink link(cfg);
+  EXPECT_EQ(link.interrupt_latency(), 777u);
+}
+
+TEST(CopyEngine, ContiguousPagesCoalesceToOneOp) {
+  PcieLink link;
+  CopyEngine copy(link);
+  const auto r = copy.copy_pages({5, 6, 7, 8}, CopyDirection::kHostToDevice);
+  EXPECT_EQ(r.dma_ops, 1u);
+  EXPECT_EQ(r.bytes, 4 * kPageSize);
+  EXPECT_EQ(copy.bytes_to_device(), 4 * kPageSize);
+}
+
+TEST(CopyEngine, GapsSplitRuns) {
+  PcieLink link;
+  CopyEngine copy(link);
+  const auto r =
+      copy.copy_pages({1, 2, 10, 11, 12, 50}, CopyDirection::kHostToDevice);
+  EXPECT_EQ(r.dma_ops, 3u);
+  EXPECT_EQ(r.bytes, 6 * kPageSize);
+}
+
+TEST(CopyEngine, UnsortedAndDuplicatePagesHandled) {
+  PcieLink link;
+  CopyEngine copy(link);
+  const auto r =
+      copy.copy_pages({3, 1, 2, 2, 3}, CopyDirection::kHostToDevice);
+  EXPECT_EQ(r.dma_ops, 1u);
+  EXPECT_EQ(r.bytes, 3 * kPageSize);
+}
+
+TEST(CopyEngine, ScatteredCostsMoreThanDense) {
+  // Same byte count, different layouts: coalescing must make the dense
+  // copy cheaper (this is why access pattern shapes Fig 6's variance).
+  PcieLink link;
+  CopyEngine copy(link);
+  std::vector<PageId> dense, sparse;
+  for (PageId p = 0; p < 64; ++p) {
+    dense.push_back(p);
+    sparse.push_back(p * 2);
+  }
+  const auto d = copy.copy_pages(dense, CopyDirection::kHostToDevice);
+  const auto s = copy.copy_pages(sparse, CopyDirection::kHostToDevice);
+  EXPECT_LT(d.time_ns, s.time_ns);
+  EXPECT_EQ(d.bytes, s.bytes);
+}
+
+TEST(CopyEngine, DirectionsAccountedSeparately) {
+  PcieLink link;
+  CopyEngine copy(link);
+  copy.copy_pages({0}, CopyDirection::kHostToDevice);
+  copy.copy_pages({1, 2}, CopyDirection::kDeviceToHost);
+  EXPECT_EQ(copy.bytes_to_device(), kPageSize);
+  EXPECT_EQ(copy.bytes_to_host(), 2 * kPageSize);
+  EXPECT_EQ(link.total_bytes_moved(), 3 * kPageSize);
+  EXPECT_EQ(link.total_ops(), 2u);
+}
+
+TEST(CopyEngine, CopyRangeSingleOp) {
+  PcieLink link;
+  CopyEngine copy(link);
+  const auto r = copy.copy_range(100, 512, CopyDirection::kDeviceToHost);
+  EXPECT_EQ(r.dma_ops, 1u);
+  EXPECT_EQ(r.bytes, kVaBlockSize);
+  EXPECT_EQ(copy.bytes_to_host(), kVaBlockSize);
+}
+
+TEST(CopyEngine, EmptyInputsAreFree) {
+  PcieLink link;
+  CopyEngine copy(link);
+  EXPECT_EQ(copy.copy_pages({}, CopyDirection::kHostToDevice).time_ns, 0u);
+  EXPECT_EQ(copy.copy_range(0, 0, CopyDirection::kHostToDevice).time_ns, 0u);
+  EXPECT_EQ(link.total_ops(), 0u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,108 @@
+#include "uvm/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+using PageMask = TreePrefetcher::PageMask;
+
+PageMask mask_of(std::initializer_list<std::uint32_t> pages) {
+  PageMask m;
+  for (const auto p : pages) m.set(p);
+  return m;
+}
+
+TEST(TreePrefetcher, NothingFaultedNothingPrefetched) {
+  TreePrefetcher pf;
+  EXPECT_TRUE(pf.compute({}, {}).none());
+}
+
+TEST(TreePrefetcher, PromotionPullsWholeBigPage) {
+  // 4 KB -> 64 KB upgrade: one faulted page drags in its 16-page big page.
+  TreePrefetcher pf(0.51, /*big_page_promotion=*/true);
+  const auto extra = pf.compute({}, mask_of({0}));
+  // Pages 1..15 prefetched (page 0 is the fault itself, excluded).
+  EXPECT_EQ(extra.count(), 15u);
+  for (std::uint32_t p = 1; p < 16; ++p) EXPECT_TRUE(extra[p]) << p;
+  EXPECT_FALSE(extra[16]);
+}
+
+TEST(TreePrefetcher, NoPromotionNoSpread) {
+  TreePrefetcher pf(0.51, /*big_page_promotion=*/false);
+  const auto extra = pf.compute({}, mask_of({0}));
+  // A lone 4 KB fault occupies its leaf entirely at leaf granularity but
+  // cannot satisfy any 2-leaf node (1/2 < 0.51), so nothing extra.
+  EXPECT_TRUE(extra.none());
+}
+
+TEST(TreePrefetcher, DensityPullsSiblingBigPage) {
+  // Faults in both halves of a 2-big-page node: node density 2/2 >= 0.51
+  // pulls the full 32-page region.
+  TreePrefetcher pf(0.51, false);
+  const auto extra = pf.compute({}, mask_of({0, 16}));
+  for (std::uint32_t p = 0; p < 32; ++p) {
+    if (p == 0 || p == 16) continue;
+    EXPECT_TRUE(extra[p]) << p;
+  }
+  EXPECT_FALSE(extra[32]);
+}
+
+TEST(TreePrefetcher, ResidencyCountsTowardDensity) {
+  // Half the block already resident + faults in the other half: the root
+  // qualifies and the rest of the block is prefetched.
+  TreePrefetcher pf(0.51, true);
+  PageMask resident;
+  for (std::uint32_t p = 0; p < 256; ++p) resident.set(p);
+  const auto extra = pf.compute(resident, mask_of({256}));
+  // Everything beyond the resident half and the faulted page comes in.
+  EXPECT_EQ(extra.count(), kPagesPerVaBlock - 256u - 1u);
+}
+
+TEST(TreePrefetcher, NeverReturnsResidentOrFaultedPages) {
+  TreePrefetcher pf(0.3, true);
+  PageMask resident = mask_of({5, 100, 300});
+  PageMask faulted = mask_of({6, 101, 301});
+  const auto extra = pf.compute(resident, faulted);
+  EXPECT_TRUE((extra & resident).none());
+  EXPECT_TRUE((extra & faulted).none());
+}
+
+TEST(TreePrefetcher, ConfinedToVaBlock) {
+  // By construction the mask is 512 pages; a full-density fault set pulls
+  // exactly the block, never beyond.
+  TreePrefetcher pf(0.1, true);
+  PageMask faulted;
+  for (std::uint32_t p = 0; p < kPagesPerVaBlock; p += 16) faulted.set(p);
+  const auto extra = pf.compute({}, faulted);
+  EXPECT_EQ((extra | faulted).count(), kPagesPerVaBlock);
+}
+
+TEST(TreePrefetcher, ThresholdOneRequiresFullOccupancy) {
+  TreePrefetcher pf(1.0, false);
+  // 31 of 32 big pages occupied: root does not qualify at threshold 1.0.
+  PageMask faulted;
+  for (std::uint32_t big = 0; big < 31; ++big) faulted.set(big * 16);
+  const auto extra = pf.compute({}, faulted);
+  EXPECT_FALSE(extra[31 * 16]);
+}
+
+class PrefetcherThresholdTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrefetcherThresholdTest, LowerThresholdNeverPrefetchesLess) {
+  // Property: prefetch aggressiveness is monotone in the threshold.
+  const double threshold = GetParam();
+  TreePrefetcher loose(threshold, true);
+  TreePrefetcher strict(std::min(1.0, threshold + 0.2), true);
+  PageMask faulted = mask_of({0, 64, 65, 128, 300, 301, 302});
+  const auto a = loose.compute({}, faulted);
+  const auto b = strict.compute({}, faulted);
+  EXPECT_EQ((b & ~a).count(), 0u)
+      << "stricter threshold prefetched pages the looser one skipped";
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PrefetcherThresholdTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7));
+
+}  // namespace
+}  // namespace uvmsim

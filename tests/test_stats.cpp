@@ -1,0 +1,156 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+class StatsMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsMergeTest, MergeMatchesSequential) {
+  // Property: splitting a sample at any point and merging the halves gives
+  // the same statistics as a single pass.
+  Xoshiro256 rng(GetParam());
+  std::vector<double> data;
+  const int n = 500 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) data.push_back(rng.uniform_real() * 100 - 50);
+
+  RunningStats whole;
+  for (double x : data) whole.add(x);
+
+  const std::size_t split = data.size() / (2 + GetParam() % 3);
+  RunningStats a, b;
+  for (std::size_t i = 0; i < split; ++i) a.add(data[i]);
+  for (std::size_t i = split; i < data.size(); ++i) b.add(data[i]);
+  a.merge(b);
+
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsMergeTest, ::testing::Range(0, 8));
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + 7.0);
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 7.0, 1e-10);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).n, 0u);
+  EXPECT_EQ(linear_fit({1.0}, {2.0}).n, 1u);
+  EXPECT_DOUBLE_EQ(linear_fit({1.0}, {2.0}).slope, 0.0);
+  // Vertical line: identical x values.
+  const LinearFit fit = linear_fit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlopeSign) {
+  Xoshiro256 rng(99);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + 10 * (rng.uniform_real() - 0.5));
+  }
+  const LinearFit fit = linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 0.9), 5.0);
+}
+
+TEST(Percentile, ClampsQuantile) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 3.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1);          // underflow
+  h.add(0.0);         // bin 0
+  h.add(1.99);        // bin 0
+  h.add(2.0);         // bin 1
+  h.add(9.99);        // bin 4
+  h.add(10.0);        // overflow
+  h.add(100.0);       // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, ZeroBinsIsSafe) {
+  Histogram h(0.0, 1.0, 0);
+  h.add(0.5);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+}  // namespace
+}  // namespace uvmsim

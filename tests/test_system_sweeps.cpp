@@ -1,0 +1,114 @@
+// Parameterized end-to-end sweeps: every workload under every major
+// driver-policy combination must complete with its invariants intact.
+// These are the regression net for the whole stack.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace uvmsim {
+namespace {
+
+struct SweepCase {
+  std::string label;
+  std::function<WorkloadSpec()> build;
+  std::uint64_t gpu_mb;  // sized to oversubscribe some workloads
+};
+
+class SystemSweepTest : public ::testing::TestWithParam<
+                            std::tuple<SweepCase, bool, bool>> {};
+
+TEST_P(SystemSweepTest, CompletesWithInvariants) {
+  const auto& [c, prefetch, async_ops] = GetParam();
+  SystemConfig cfg = presets::scaled_titan_v(c.gpu_mb);
+  cfg.driver.prefetch_enabled = prefetch;
+  cfg.driver.big_page_promotion = prefetch;
+  cfg.driver.async_host_ops = async_ops;
+
+  System system(cfg);
+  const auto result = system.run(c.build());
+
+  // Every run completes, services faults, and respects GPU capacity.
+  EXPECT_GT(result.total_faults, 0u);
+  EXPECT_GT(result.log.size(), 0u);
+  EXPECT_LE(system.driver().va_space().gpu_resident_pages() * kPageSize,
+            cfg.gpu.memory_bytes);
+  EXPECT_LE(result.batch_time_ns, result.kernel_time_ns);
+  EXPECT_EQ(result.forced_throttle_refills, 0u);
+
+  // Per-batch sanity: counters conserved, phases account the duration.
+  for (const auto& rec : result.log) {
+    EXPECT_EQ(rec.counters.raw_faults,
+              rec.counters.unique_faults + rec.counters.dup_same_utlb +
+                  rec.counters.dup_cross_utlb);
+    EXPECT_LE(rec.counters.unique_faults, rec.counters.raw_faults);
+    if (!async_ops) {
+      EXPECT_EQ(rec.duration_ns(), rec.phases.sum());
+    } else {
+      EXPECT_LE(rec.duration_ns(), rec.phases.sum());
+    }
+    EXPECT_LE(rec.counters.vablocks_touched,
+              std::max(1u, rec.counters.unique_faults));
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  return {
+      {"stream_small", [] { return make_stream_triad(1 << 15); }, 256},
+      {"stream_oversub", [] { return make_stream_triad(1 << 20, 2); }, 16},
+      {"sgemm", [] {
+         GemmParams p;
+         p.n = 512;
+         return make_gemm(p);
+       }, 256},
+      {"fft", [] { return make_fft(1 << 16); }, 256},
+      {"gauss_seidel", [] {
+         GaussSeidelParams p;
+         p.nx = 1024;
+         p.ny = 256;
+         return make_gauss_seidel(p);
+       }, 256},
+      {"hpgmg", [] {
+         HpgmgParams p;
+         p.fine_elements_log2 = 17;
+         p.levels = 3;
+         p.vcycles = 1;
+         return make_hpgmg(p);
+       }, 256},
+      {"random", [] { return make_random(64ULL << 20, 3, 4, 64, 32); }, 256},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SystemSweepTest,
+    ::testing::Combine(::testing::ValuesIn(sweep_cases()),
+                       ::testing::Bool(),   // prefetch
+                       ::testing::Bool()),  // async host ops
+    [](const auto& info) {
+      return std::get<0>(info.param).label +
+             (std::get<1>(info.param) ? "_pf" : "_nopf") +
+             (std::get<2>(info.param) ? "_async" : "_sync");
+    });
+
+class OversubRatioTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OversubRatioTest, EvictionScalesWithPressure) {
+  // Working set 48 MB of stream arrays against a shrinking GPU.
+  const std::uint64_t gpu_mb = GetParam();
+  SystemConfig cfg = presets::scaled_titan_v(gpu_mb);
+  System system(cfg);
+  const auto result = system.run(make_stream_triad(2 << 20, 2));
+  if (gpu_mb >= 64) {
+    EXPECT_EQ(result.evictions, 0u) << "in-core run must not evict";
+  } else {
+    EXPECT_GT(result.evictions, 0u) << "oversubscribed run must evict";
+    EXPECT_GT(result.bytes_d2h, 0u);
+  }
+  EXPECT_LE(system.driver().va_space().gpu_resident_pages() * kPageSize,
+            cfg.gpu.memory_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pressure, OversubRatioTest,
+                         ::testing::Values(96, 64, 40, 32, 24));
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,72 @@
+#include "hostos/unmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(UnmapCost, ZeroPagesIsFree) {
+  UnmapCostModel model;
+  EXPECT_EQ(model.cost(0, 0xFF), 0u);
+}
+
+TEST(UnmapCost, SingleSharerPaysNoIpi) {
+  UnmapCostModel model;
+  const SimTime one = model.cost(10, 0b1);
+  EXPECT_EQ(one, model.base_call_ns + 10 * model.per_page_ns);
+}
+
+TEST(UnmapCost, EachExtraCorePaysOneIpi) {
+  UnmapCostModel model;
+  const SimTime one = model.cost(10, 0b1);
+  const SimTime two = model.cost(10, 0b11);
+  const SimTime four = model.cost(10, 0b1111);
+  EXPECT_EQ(two - one, model.ipi_per_extra_core_ns);
+  EXPECT_EQ(four - one, 3 * model.ipi_per_extra_core_ns);
+}
+
+TEST(UnmapCost, NoSharersBehavesLikeLocalFlush) {
+  UnmapCostModel model;
+  EXPECT_EQ(model.cost(5, 0), model.base_call_ns + 5 * model.per_page_ns);
+}
+
+TEST(SharerCount, Popcount) {
+  EXPECT_EQ(sharer_count(0), 0u);
+  EXPECT_EQ(sharer_count(0b1), 1u);
+  EXPECT_EQ(sharer_count(0b1010'1010), 4u);
+  EXPECT_EQ(sharer_count(~0ULL), 64u);
+}
+
+class UnmapMonotonicTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, unsigned>> {};
+
+TEST_P(UnmapMonotonicTest, CostIsMonotonicInPagesAndSharers) {
+  // Property: more pages or more sharing cores never costs less.
+  UnmapCostModel model;
+  const auto [pages, cores] = GetParam();
+  const CpuThreadMask mask = cores >= 64 ? ~0ULL : ((1ULL << cores) - 1);
+  const SimTime base = model.cost(pages, mask);
+  if (pages > 0) {
+    EXPECT_GE(model.cost(pages + 1, mask), base);
+    const CpuThreadMask more =
+        cores >= 63 ? ~0ULL : ((1ULL << (cores + 1)) - 1);
+    EXPECT_GE(model.cost(pages, more), base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnmapMonotonicTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 16u, 256u, 512u),
+                       ::testing::Values(1u, 2u, 8u, 31u, 63u)));
+
+TEST(UnmapCost, MultithreadedInitRoughlyDoublesFullBlockCost) {
+  // The Fig 11 mechanism: a 512-page VABlock unmap with 32 sharing cores
+  // should be substantially (>= 1.5x) more expensive than single-threaded.
+  UnmapCostModel model;
+  const SimTime single = model.cost(512, 0b1);
+  const SimTime omp32 = model.cost(512, 0xFFFFFFFFULL);
+  EXPECT_GE(static_cast<double>(omp32), 1.5 * static_cast<double>(single));
+}
+
+}  // namespace
+}  // namespace uvmsim

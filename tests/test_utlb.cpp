@@ -1,0 +1,52 @@
+#include "gpu/utlb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(UTlb, StartsEmpty) {
+  UTlb tlb(56);
+  EXPECT_FALSE(tlb.full());
+  EXPECT_EQ(tlb.outstanding_count(), 0u);
+  EXPECT_FALSE(tlb.has_outstanding(0));
+}
+
+TEST(UTlb, TracksOutstandingEntries) {
+  UTlb tlb(56);
+  tlb.add_outstanding(10);
+  tlb.add_outstanding(20);
+  EXPECT_TRUE(tlb.has_outstanding(10));
+  EXPECT_TRUE(tlb.has_outstanding(20));
+  EXPECT_FALSE(tlb.has_outstanding(30));
+  EXPECT_EQ(tlb.outstanding_count(), 2u);
+}
+
+TEST(UTlb, FullAtCapacity) {
+  // The paper's measured Volta constraint: 56 outstanding faults per µTLB.
+  UTlb tlb(56);
+  for (PageId p = 0; p < 56; ++p) {
+    EXPECT_FALSE(tlb.full());
+    tlb.add_outstanding(p);
+  }
+  EXPECT_TRUE(tlb.full());
+  EXPECT_EQ(tlb.outstanding_count(), 56u);
+}
+
+TEST(UTlb, ReplayClearsAllEntries) {
+  UTlb tlb(4);
+  tlb.add_outstanding(1);
+  tlb.add_outstanding(2);
+  tlb.clear();
+  EXPECT_EQ(tlb.outstanding_count(), 0u);
+  EXPECT_FALSE(tlb.full());
+  EXPECT_FALSE(tlb.has_outstanding(1));
+}
+
+TEST(UTlb, CapacityAccessor) {
+  UTlb tlb(56);
+  EXPECT_EQ(tlb.capacity(), 56u);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,112 @@
+#include "uvm/va_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(AllocLayout, BlockAlignedPlacement) {
+  AllocLayout layout;
+  EXPECT_EQ(layout.add(100), 0u);  // 100 bytes -> 1 block
+  EXPECT_EQ(layout.add(kVaBlockSize), kPagesPerVaBlock);
+  EXPECT_EQ(layout.add(kVaBlockSize + 1), 2 * kPagesPerVaBlock);
+  EXPECT_EQ(layout.next_free_page(), 4 * kPagesPerVaBlock);
+  EXPECT_EQ(layout.total_blocks(), 4u);
+}
+
+TEST(VaSpace, AllocationMatchesLayout) {
+  VaSpace space;
+  const auto& a = space.allocate(100, "a", HostInit::none());
+  const auto& b = space.allocate(3 * kVaBlockSize, "b", HostInit::none());
+  EXPECT_EQ(a.first_page, 0u);
+  EXPECT_EQ(b.first_page, kPagesPerVaBlock);
+  EXPECT_EQ(space.block_count(), 4u);
+  EXPECT_EQ(space.allocations().size(), 2u);
+}
+
+TEST(VaSpace, VmaResolvesPagesToAllocations) {
+  VaSpace space;
+  space.allocate(kPageSize * 10, "a", HostInit::none());
+  space.allocate(kPageSize * 10, "b", HostInit::none());
+  const auto hit = space.vmas().find(kPagesPerVaBlock + 5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "b");
+  // Pages in the alignment gap belong to no VMA.
+  EXPECT_FALSE(space.vmas().find(10).has_value());
+}
+
+TEST(VaSpace, SingleThreadInitMapsEverythingToOneSharer) {
+  VaSpace space;
+  space.allocate(kPageSize * 100, "a", HostInit::single());
+  const auto& block = space.block(0);
+  EXPECT_EQ(block.cpu_mapped_count(), 100u);
+  EXPECT_EQ(block.cpu_sharers(), 0b1u);
+  EXPECT_EQ(space.host_page_table().mapped_count(), 100u);
+}
+
+TEST(VaSpace, NoneInitLeavesPagesUnpopulated) {
+  VaSpace space;
+  space.allocate(kPageSize * 100, "a", HostInit::none());
+  const auto& block = space.block(0);
+  EXPECT_EQ(block.cpu_mapped_count(), 0u);
+  EXPECT_TRUE(block.populated().none());
+  EXPECT_EQ(space.host_page_table().mapped_count(), 0u);
+}
+
+TEST(VaSpace, InterleavedInitSpreadsSharersAcrossEveryBlock) {
+  // Fig 11's trigger: boxed OpenMP init leaves every VABlock shared by
+  // many CPU threads.
+  VaSpace space;
+  space.allocate(2 * kVaBlockSize, "a", HostInit::interleaved(32));
+  EXPECT_EQ(sharer_count(space.block(0).cpu_sharers()), 32u);
+  EXPECT_EQ(sharer_count(space.block(1).cpu_sharers()), 32u);
+}
+
+TEST(VaSpace, ChunkedInitLocalizesSharers) {
+  // Static-schedule OpenMP: each VABlock touched by only ~1-2 threads.
+  VaSpace space;
+  space.allocate(8 * kVaBlockSize, "a", HostInit::chunked(8));
+  for (VaBlockId b = 0; b < 8; ++b) {
+    EXPECT_LE(sharer_count(space.block(b).cpu_sharers()), 2u) << b;
+  }
+}
+
+TEST(VaSpace, UnmapBlockCpuClearsPtesAndMask) {
+  VaSpace space;
+  space.allocate(kVaBlockSize, "a", HostInit::single());
+  EXPECT_EQ(space.host_page_table().mapped_count(), kPagesPerVaBlock);
+  EXPECT_EQ(space.unmap_block_cpu(0), kPagesPerVaBlock);
+  EXPECT_EQ(space.host_page_table().mapped_count(), 0u);
+  EXPECT_EQ(space.block(0).cpu_mapped_count(), 0u);
+  // Idempotent.
+  EXPECT_EQ(space.unmap_block_cpu(0), 0u);
+}
+
+TEST(VaSpace, ResidencyQueries) {
+  VaSpace space;
+  space.allocate(kVaBlockSize, "a", HostInit::none());
+  EXPECT_FALSE(space.is_gpu_resident(0));
+  space.block(0).set_gpu_resident(0);
+  EXPECT_TRUE(space.is_gpu_resident(0));
+  EXPECT_FALSE(space.is_gpu_resident(1));
+  // Out-of-range pages are simply non-resident.
+  EXPECT_FALSE(space.is_gpu_resident(100 * kPagesPerVaBlock));
+  EXPECT_EQ(space.gpu_resident_pages(), 1u);
+}
+
+class HostInitPatternTest
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HostInitPatternTest, InterleavedSharerCountMatchesThreads) {
+  const std::uint32_t threads = GetParam();
+  VaSpace space;
+  space.allocate(kVaBlockSize, "a", HostInit::interleaved(threads));
+  EXPECT_EQ(sharer_count(space.block(0).cpu_sharers()),
+            std::min(threads, kPagesPerVaBlock));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, HostInitPatternTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace uvmsim

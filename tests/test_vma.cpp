@@ -1,0 +1,82 @@
+#include "hostos/vma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uvmsim {
+namespace {
+
+TEST(VmaMap, InsertAndFind) {
+  VmaMap map;
+  EXPECT_TRUE(map.insert(10, 20, 1, "a"));
+  const auto hit = map.find(15);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->alloc, 1u);
+  EXPECT_EQ(hit->start, 10u);
+  EXPECT_EQ(hit->end, 20u);
+  EXPECT_EQ(hit->name, "a");
+}
+
+TEST(VmaMap, BoundariesAreHalfOpen) {
+  VmaMap map;
+  map.insert(10, 20, 1, "a");
+  EXPECT_TRUE(map.find(10).has_value());
+  EXPECT_TRUE(map.find(19).has_value());
+  EXPECT_FALSE(map.find(9).has_value());
+  EXPECT_FALSE(map.find(20).has_value());
+}
+
+TEST(VmaMap, RejectsOverlaps) {
+  VmaMap map;
+  EXPECT_TRUE(map.insert(10, 20, 1, "a"));
+  EXPECT_FALSE(map.insert(15, 25, 2, "b"));  // overlaps right
+  EXPECT_FALSE(map.insert(5, 11, 2, "b"));   // overlaps left
+  EXPECT_FALSE(map.insert(12, 14, 2, "b"));  // contained
+  EXPECT_FALSE(map.insert(5, 25, 2, "b"));   // contains
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(VmaMap, AdjacentRegionsAllowed) {
+  VmaMap map;
+  EXPECT_TRUE(map.insert(10, 20, 1, "a"));
+  EXPECT_TRUE(map.insert(20, 30, 2, "b"));
+  EXPECT_TRUE(map.insert(0, 10, 3, "c"));
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.find(20)->alloc, 2u);
+  EXPECT_EQ(map.find(9)->alloc, 3u);
+}
+
+TEST(VmaMap, RejectsEmptyRange) {
+  VmaMap map;
+  EXPECT_FALSE(map.insert(10, 10, 1, "a"));
+  EXPECT_FALSE(map.insert(10, 5, 1, "a"));
+}
+
+TEST(VmaMap, EraseByStart) {
+  VmaMap map;
+  map.insert(10, 20, 1, "a");
+  map.insert(30, 40, 2, "b");
+  EXPECT_TRUE(map.erase(10));
+  EXPECT_FALSE(map.erase(10));
+  EXPECT_FALSE(map.erase(15));  // must be exact start
+  EXPECT_FALSE(map.find(15).has_value());
+  EXPECT_TRUE(map.find(35).has_value());
+  EXPECT_EQ(map.total_pages(), 10u);
+}
+
+TEST(VmaMap, TotalPagesTracksInsertErase) {
+  VmaMap map;
+  map.insert(0, 100, 1, "a");
+  map.insert(200, 250, 2, "b");
+  EXPECT_EQ(map.total_pages(), 150u);
+  map.erase(0);
+  EXPECT_EQ(map.total_pages(), 50u);
+}
+
+TEST(VmaMap, FindOnEmptyMap) {
+  VmaMap map;
+  EXPECT_FALSE(map.find(0).has_value());
+  EXPECT_FALSE(map.find(~0ULL).has_value());
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,260 @@
+#include "workloads/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+namespace uvmsim {
+namespace {
+
+/// Shared invariants every builder must satisfy: accesses stay inside the
+/// declared allocations, every workload has work, write targets exist.
+struct NamedSpec {
+  std::string label;
+  std::function<WorkloadSpec()> build;
+};
+
+class WorkloadInvariantTest : public ::testing::TestWithParam<NamedSpec> {};
+
+TEST_P(WorkloadInvariantTest, AccessesStayInsideAllocations) {
+  const WorkloadSpec spec = GetParam().build();
+  AllocLayout layout;
+  std::vector<std::pair<PageId, PageId>> ranges;  // [first, last)
+  for (const auto& a : spec.allocs) {
+    const PageId base = layout.add(a.bytes);
+    ranges.emplace_back(base, base + ceil_div(a.bytes, kPageSize));
+  }
+  std::uint64_t checked = 0;
+  for (const auto& block : spec.kernel.blocks) {
+    for (const auto& warp : block.warps) {
+      for (const auto& group : warp.groups) {
+        for (const auto& access : group.accesses) {
+          bool inside = false;
+          for (const auto& [lo, hi] : ranges) {
+            if (access.page >= lo && access.page < hi) {
+              inside = true;
+              break;
+            }
+          }
+          ASSERT_TRUE(inside) << "page " << access.page << " outside allocs";
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(WorkloadInvariantTest, HasBlocksAndNonEmptyGroups) {
+  const WorkloadSpec spec = GetParam().build();
+  EXPECT_FALSE(spec.kernel.blocks.empty());
+  EXPECT_FALSE(spec.name.empty());
+  for (const auto& block : spec.kernel.blocks) {
+    EXPECT_FALSE(block.warps.empty());
+    for (const auto& warp : block.warps) {
+      for (const auto& group : warp.groups) {
+        EXPECT_FALSE(group.accesses.empty());
+      }
+    }
+  }
+}
+
+TEST_P(WorkloadInvariantTest, NoDuplicatePagesWithinGroup) {
+  // The coalescer emits one request per distinct page per warp.
+  const WorkloadSpec spec = GetParam().build();
+  for (const auto& block : spec.kernel.blocks) {
+    for (const auto& warp : block.warps) {
+      for (const auto& group : warp.groups) {
+        std::set<PageId> pages;
+        for (const auto& access : group.accesses) {
+          EXPECT_TRUE(pages.insert(access.page).second)
+              << "duplicate page " << access.page << " in one group";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuilders, WorkloadInvariantTest,
+    ::testing::Values(
+        NamedSpec{"vecadd_paged", [] { return make_vecadd_paged(); }},
+        NamedSpec{"vecadd_coalesced",
+                  [] { return make_vecadd_coalesced(1 << 16); }},
+        NamedSpec{"vecadd_prefetch", [] { return make_vecadd_prefetch(64); }},
+        NamedSpec{"regular", [] { return make_regular(16ULL << 20, 4, 64); }},
+        NamedSpec{"random", [] { return make_random(16ULL << 20, 7, 4, 64); }},
+        NamedSpec{"stream", [] { return make_stream_triad(1 << 16); }},
+        NamedSpec{"sgemm",
+                  [] {
+                    GemmParams p;
+                    p.n = 512;
+                    return make_gemm(p);
+                  }},
+        NamedSpec{"dgemm",
+                  [] {
+                    GemmParams p;
+                    p.n = 512;
+                    p.double_precision = true;
+                    return make_gemm(p);
+                  }},
+        NamedSpec{"cufft", [] { return make_fft(1 << 16); }},
+        NamedSpec{"gauss_seidel",
+                  [] {
+                    GaussSeidelParams p;
+                    p.nx = 512;
+                    p.ny = 128;
+                    return make_gauss_seidel(p);
+                  }},
+        NamedSpec{"hpgmg",
+                  [] {
+                    HpgmgParams p;
+                    p.fine_elements_log2 = 14;
+                    p.levels = 3;
+                    p.vcycles = 1;
+                    return make_hpgmg(p);
+                  }}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(VecAddPaged, ThreadsPagesAndStatements) {
+  const auto spec = make_vecadd_paged(32, 3);
+  ASSERT_EQ(spec.allocs.size(), 3u);
+  EXPECT_EQ(spec.allocs[0].bytes, 96 * kPageSize);
+  ASSERT_EQ(spec.kernel.blocks.size(), 1u);
+  ASSERT_EQ(spec.kernel.blocks[0].warps.size(), 1u);
+  // 3 statements x (reads group + writes group).
+  EXPECT_EQ(spec.kernel.blocks[0].warps[0].groups.size(), 6u);
+  EXPECT_EQ(spec.kernel.blocks[0].warps[0].groups[0].accesses.size(), 64u);
+  EXPECT_EQ(spec.kernel.blocks[0].warps[0].groups[1].accesses.size(), 32u);
+}
+
+TEST(VecAddPaged, WritesOnlyInWriteGroups) {
+  const auto spec = make_vecadd_paged();
+  const auto& groups = spec.kernel.blocks[0].warps[0].groups;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const auto& a : groups[g].accesses) {
+      if (g % 2 == 0) {
+        EXPECT_EQ(a.type, AccessType::kRead);
+      } else {
+        EXPECT_EQ(a.type, AccessType::kWrite);
+      }
+    }
+  }
+}
+
+TEST(VecAddPrefetch, FirstGroupIsAllPrefetch) {
+  const auto spec = make_vecadd_prefetch(128);
+  const auto& g0 = spec.kernel.blocks[0].warps[0].groups[0];
+  EXPECT_EQ(g0.accesses.size(), 3 * 128u);
+  for (const auto& a : g0.accesses) {
+    EXPECT_EQ(a.type, AccessType::kPrefetch);
+  }
+}
+
+TEST(Gemm, CIsFullyWritten) {
+  GemmParams p;
+  p.n = 256;
+  const auto spec = make_gemm(p);
+  AllocLayout layout;
+  layout.add(spec.allocs[0].bytes);
+  layout.add(spec.allocs[1].bytes);
+  const PageId c_base = layout.add(spec.allocs[2].bytes);
+  const std::uint64_t c_pages = ceil_div(spec.allocs[2].bytes, kPageSize);
+
+  std::set<PageId> written;
+  for (const auto& block : spec.kernel.blocks) {
+    for (const auto& warp : block.warps) {
+      for (const auto& group : warp.groups) {
+        for (const auto& a : group.accesses) {
+          if (a.type == AccessType::kWrite) written.insert(a.page);
+        }
+      }
+    }
+  }
+  for (PageId p2 = c_base; p2 < c_base + c_pages; ++p2) {
+    ASSERT_TRUE(written.contains(p2)) << "C page " << p2 << " never written";
+  }
+}
+
+TEST(Gemm, DoublePrecisionDoublesFootprint) {
+  GemmParams s;
+  s.n = 256;
+  GemmParams d = s;
+  d.double_precision = true;
+  EXPECT_EQ(make_gemm(d).allocs[0].bytes, 2 * make_gemm(s).allocs[0].bytes);
+}
+
+TEST(Gemm, KLoopPrecedesWrites) {
+  GemmParams p;
+  p.n = 256;
+  const auto spec = make_gemm(p);
+  const auto& warp = spec.kernel.blocks[0].warps[0];
+  // tiles k-steps of reads, then exactly one write group at the end.
+  ASSERT_EQ(warp.groups.size(), p.n / p.tile + 1u);
+  for (std::size_t g = 0; g + 1 < warp.groups.size(); ++g) {
+    for (const auto& a : warp.groups[g].accesses) {
+      EXPECT_EQ(a.type, AccessType::kRead);
+    }
+  }
+  for (const auto& a : warp.groups.back().accesses) {
+    EXPECT_EQ(a.type, AccessType::kWrite);
+  }
+}
+
+TEST(Stream, IterationsAreFullGridSweeps) {
+  const auto one = make_stream_triad(1 << 14, 1);
+  const auto three = make_stream_triad(1 << 14, 3);
+  EXPECT_EQ(three.kernel.blocks.size(), 3 * one.kernel.blocks.size());
+  // Each sweep revisits the same pages (iteration 2's first block touches
+  // the same pages as iteration 1's).
+  EXPECT_EQ(three.kernel.blocks[one.kernel.blocks.size()]
+                .warps[0]
+                .groups[0]
+                .accesses[0]
+                .page,
+            three.kernel.blocks[0].warps[0].groups[0].accesses[0].page);
+}
+
+TEST(Fft, PassCountIsLogN) {
+  const auto spec = make_fft(1 << 14, 512);
+  // Each pass contributes a read group and a write group per warp.
+  EXPECT_EQ(spec.kernel.blocks[0].warps[0].groups.size(), 2 * 14u);
+}
+
+TEST(GaussSeidel, SweepsRevisitTheGrid) {
+  GaussSeidelParams p;
+  p.nx = 512;
+  p.ny = 64;
+  p.sweeps = 2;
+  const auto two = make_gauss_seidel(p);
+  p.sweeps = 1;
+  const auto one = make_gauss_seidel(p);
+  EXPECT_EQ(two.kernel.blocks.size(), 2 * one.kernel.blocks.size());
+}
+
+TEST(Hpgmg, LevelsShrinkAndInitIsInterleaved) {
+  HpgmgParams p;
+  p.fine_elements_log2 = 15;
+  p.levels = 3;
+  const auto spec = make_hpgmg(p);
+  ASSERT_EQ(spec.allocs.size(), 6u);  // u + r per level
+  EXPECT_GT(spec.allocs[0].bytes, spec.allocs[2].bytes);
+  EXPECT_GT(spec.allocs[2].bytes, spec.allocs[4].bytes);
+  EXPECT_EQ(spec.allocs[0].init.pattern, HostInit::Pattern::kInterleaved);
+  EXPECT_EQ(spec.allocs[0].init.threads, 32u);
+}
+
+TEST(Random, DeterministicForSameSeed) {
+  const auto a = make_random(8ULL << 20, 5, 2, 16);
+  const auto b = make_random(8ULL << 20, 5, 2, 16);
+  ASSERT_EQ(a.kernel.blocks.size(), b.kernel.blocks.size());
+  EXPECT_EQ(a.kernel.blocks[0].warps[0].groups[0].accesses[0].page,
+            b.kernel.blocks[0].warps[0].groups[0].accesses[0].page);
+  const auto c = make_random(8ULL << 20, 6, 2, 16);
+  EXPECT_NE(a.kernel.blocks[0].warps[0].groups[0].accesses[0].page,
+            c.kernel.blocks[0].warps[0].groups[0].accesses[0].page);
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -1,0 +1,234 @@
+// uvmsim command-line tool: run any workload under any driver/GPU policy
+// combination and emit the batch log, or analyze a previously saved log.
+// The library's counterpart to the paper artifact's "Experiments and
+// Evaluation Tool".
+//
+//   uvmsim_cli run --workload stream --elements 1048576 --gpu-mb 64 \
+//       --no-prefetch --batch-size 512 --log out.batchlog
+//   uvmsim_cli analyze out.batchlog
+//   uvmsim_cli list
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/log_io.hpp"
+#include "analysis/parallelism.hpp"
+#include "analysis/summary.hpp"
+#include "analysis/table.hpp"
+#include "core/system.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace uvmsim;
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.contains(name); }
+  std::string get(const std::string& name, std::string fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : std::stoull(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.named[token] = argv[++i];
+    } else {
+      args.named[token] = "1";
+    }
+  }
+  return args;
+}
+
+std::optional<WorkloadSpec> build_workload(const Args& args) {
+  const std::string name = args.get("workload", "stream");
+  const std::uint64_t elements = args.get_u64("elements", 1 << 18);
+  if (name == "stream") {
+    return make_stream_triad(elements,
+                             static_cast<std::uint32_t>(
+                                 args.get_u64("iterations", 1)));
+  }
+  if (name == "vecadd") return make_vecadd_coalesced(elements);
+  if (name == "vecadd-paged") return make_vecadd_paged();
+  if (name == "vecadd-prefetch") return make_vecadd_prefetch(128);
+  if (name == "regular") {
+    return make_regular(args.get_u64("bytes", 96ULL << 20));
+  }
+  if (name == "random") {
+    return make_random(args.get_u64("bytes", 192ULL << 20),
+                       args.get_u64("seed", 0x5eed));
+  }
+  if (name == "sgemm" || name == "dgemm") {
+    GemmParams p;
+    p.n = static_cast<std::uint32_t>(args.get_u64("n", 1024));
+    p.double_precision = name == "dgemm";
+    p.host_init_threads =
+        static_cast<std::uint32_t>(args.get_u64("host-threads", 1));
+    return make_gemm(p);
+  }
+  if (name == "fft") return make_fft(elements);
+  if (name == "gauss-seidel") {
+    GaussSeidelParams p;
+    p.nx = static_cast<std::uint32_t>(args.get_u64("nx", 2048));
+    p.ny = static_cast<std::uint32_t>(args.get_u64("ny", 1024));
+    p.sweeps = static_cast<std::uint32_t>(args.get_u64("sweeps", 2));
+    return make_gauss_seidel(p);
+  }
+  if (name == "hpgmg") {
+    HpgmgParams p;
+    p.fine_elements_log2 =
+        static_cast<std::uint32_t>(args.get_u64("fine-log2", 20));
+    p.vcycles = static_cast<std::uint32_t>(args.get_u64("vcycles", 1));
+    p.host_threads =
+        static_cast<std::uint32_t>(args.get_u64("host-threads", 32));
+    return make_hpgmg(p);
+  }
+  return std::nullopt;
+}
+
+int cmd_list() {
+  std::printf("workloads: stream vecadd vecadd-paged vecadd-prefetch "
+              "regular random sgemm dgemm fft gauss-seidel hpgmg\n");
+  std::printf("run flags: --workload X --elements N --bytes N --n N "
+              "--nx/--ny N --sweeps N --vcycles N --fine-log2 N "
+              "--host-threads N --iterations N --seed N\n");
+  std::printf("config flags: --gpu-mb N --batch-size N --no-prefetch "
+              "--no-promotion --no-flush --fifo-evict --adaptive-batch "
+              "--async-host-ops --pin-host --log FILE\n");
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  auto spec = build_workload(args);
+  if (!spec) {
+    std::fprintf(stderr, "unknown workload; try `uvmsim_cli list`\n");
+    return 2;
+  }
+  SystemConfig cfg = presets::scaled_titan_v(args.get_u64("gpu-mb", 512));
+  cfg.driver.batch_size =
+      static_cast<std::uint32_t>(args.get_u64("batch-size", 256));
+  if (args.flag("no-prefetch")) cfg.driver.prefetch_enabled = false;
+  if (args.flag("no-promotion")) cfg.driver.big_page_promotion = false;
+  if (args.flag("no-flush")) cfg.driver.flush_on_replay = false;
+  if (args.flag("fifo-evict")) cfg.driver.evict_policy = EvictPolicy::kFifo;
+  if (args.flag("adaptive-batch")) cfg.driver.adaptive_batch_size = true;
+  if (args.flag("async-host-ops")) cfg.driver.async_host_ops = true;
+  cfg.seed = args.get_u64("seed", cfg.seed);
+  if (args.flag("pin-host")) {
+    for (auto& alloc : spec->allocs) {
+      alloc.advise = MemAdvise::kPreferredLocationHost;
+    }
+  }
+
+  System system(cfg);
+  const RunResult result = system.run(*spec);
+
+  std::printf("workload=%s kernel_ms=%.3f batch_ms=%.3f batches=%zu "
+              "faults=%llu dups=%llu remote=%llu evictions=%llu "
+              "h2d_mb=%.1f d2h_mb=%.1f\n",
+              spec->name.c_str(), result.kernel_time_ns / 1e6,
+              result.batch_time_ns / 1e6, result.log.size(),
+              static_cast<unsigned long long>(result.total_faults),
+              static_cast<unsigned long long>(result.duplicate_emissions),
+              static_cast<unsigned long long>(result.remote_accesses),
+              static_cast<unsigned long long>(result.evictions),
+              static_cast<double>(result.bytes_h2d) / (1 << 20),
+              static_cast<double>(result.bytes_d2h) / (1 << 20));
+
+  if (const std::string path = args.get("log", ""); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 3;
+    }
+    write_batch_log(out, result.log);
+    std::printf("batch log written to %s (%zu records)\n", path.c_str(),
+                result.log.size());
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  const auto parsed = read_batch_log(in);
+  if (parsed.log.empty()) {
+    std::fprintf(stderr, "no parsable batch records in %s\n", path.c_str());
+    return 2;
+  }
+  if (parsed.skipped_lines > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 parsed.skipped_lines);
+  }
+
+  const auto& log = parsed.log;
+  const auto totals = fault_totals(log);
+  const auto phases = phase_totals(log);
+  const auto sm = sm_stats(log, 80);
+  const auto vab = vablock_stats(log);
+  const auto fit = cost_vs_migration_fit(log);
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"batches", std::to_string(log.size())});
+  table.add_row({"raw faults", std::to_string(totals.raw)});
+  table.add_row({"unique faults", std::to_string(totals.unique)});
+  table.add_row({"dup rate",
+                 totals.raw ? fmt_pct(1.0 - static_cast<double>(totals.unique) /
+                                                static_cast<double>(totals.raw))
+                            : "0%"});
+  table.add_row({"faults/SM per batch (avg)", fmt(sm.avg, 2)});
+  table.add_row({"VABlocks per batch (avg)", fmt(vab.vablocks_per_batch, 2)});
+  table.add_row({"cost fit (us per KB)", fmt(fit.slope, 3)});
+  table.add_row({"total batch time (ms)",
+                 fmt(static_cast<double>(phases.sum()) / 1e6, 3)});
+  table.add_row({"  transfer share", fmt_pct(phases.sum() ? static_cast<double>(phases.transfer_ns) / static_cast<double>(phases.sum()) : 0)});
+  table.add_row({"  unmap share", fmt_pct(phases.sum() ? static_cast<double>(phases.unmap_ns) / static_cast<double>(phases.sum()) : 0)});
+  table.add_row({"  dma/radix share", fmt_pct(phases.sum() ? static_cast<double>(phases.dma_map_ns) / static_cast<double>(phases.sum()) : 0)});
+  table.add_row({"  eviction share", fmt_pct(phases.sum() ? static_cast<double>(phases.eviction_ns) / static_cast<double>(phases.sum()) : 0)});
+  for (const unsigned workers : {4u, 8u}) {
+    const auto est = estimate_vablock_parallel(log, workers);
+    table.add_row({"VABlock-parallel speedup (" + std::to_string(workers) +
+                       " workers)",
+                   fmt(est.speedup, 2) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s run [flags] | analyze FILE | list\n", argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "list") return cmd_list();
+  if (command == "run") return cmd_run(parse_args(argc, argv, 2));
+  if (command == "analyze") {
+    if (argc < 3) {
+      std::fprintf(stderr, "analyze requires a batch-log file\n");
+      return 1;
+    }
+    return cmd_analyze(argv[2]);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}
