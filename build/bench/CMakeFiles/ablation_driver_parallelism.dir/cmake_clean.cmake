@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_driver_parallelism.dir/ablation_driver_parallelism.cpp.o"
+  "CMakeFiles/ablation_driver_parallelism.dir/ablation_driver_parallelism.cpp.o.d"
+  "ablation_driver_parallelism"
+  "ablation_driver_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_driver_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

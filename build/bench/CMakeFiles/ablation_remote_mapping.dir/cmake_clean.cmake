@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_remote_mapping.dir/ablation_remote_mapping.cpp.o"
+  "CMakeFiles/ablation_remote_mapping.dir/ablation_remote_mapping.cpp.o.d"
+  "ablation_remote_mapping"
+  "ablation_remote_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_remote_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

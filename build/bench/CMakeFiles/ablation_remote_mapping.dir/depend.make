@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_remote_mapping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_vecadd_batches.dir/fig03_vecadd_batches.cpp.o"
+  "CMakeFiles/fig03_vecadd_batches.dir/fig03_vecadd_batches.cpp.o.d"
+  "fig03_vecadd_batches"
+  "fig03_vecadd_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_vecadd_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

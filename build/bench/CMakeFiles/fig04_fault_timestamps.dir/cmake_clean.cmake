@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fault_timestamps.dir/fig04_fault_timestamps.cpp.o"
+  "CMakeFiles/fig04_fault_timestamps.dir/fig04_fault_timestamps.cpp.o.d"
+  "fig04_fault_timestamps"
+  "fig04_fault_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fault_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

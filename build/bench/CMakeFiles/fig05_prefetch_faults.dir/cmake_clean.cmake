@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_prefetch_faults.dir/fig05_prefetch_faults.cpp.o"
+  "CMakeFiles/fig05_prefetch_faults.dir/fig05_prefetch_faults.cpp.o.d"
+  "fig05_prefetch_faults"
+  "fig05_prefetch_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_prefetch_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

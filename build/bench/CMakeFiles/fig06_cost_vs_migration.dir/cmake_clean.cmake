@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cost_vs_migration.dir/fig06_cost_vs_migration.cpp.o"
+  "CMakeFiles/fig06_cost_vs_migration.dir/fig06_cost_vs_migration.cpp.o.d"
+  "fig06_cost_vs_migration"
+  "fig06_cost_vs_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cost_vs_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_dedup_timeseries.dir/fig08_dedup_timeseries.cpp.o"
+  "CMakeFiles/fig08_dedup_timeseries.dir/fig08_dedup_timeseries.cpp.o.d"
+  "fig08_dedup_timeseries"
+  "fig08_dedup_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_dedup_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vablock_variance.dir/fig10_vablock_variance.cpp.o"
+  "CMakeFiles/fig10_vablock_variance.dir/fig10_vablock_variance.cpp.o.d"
+  "fig10_vablock_variance"
+  "fig10_vablock_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vablock_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_oversub_sgemm.dir/fig12_oversub_sgemm.cpp.o"
+  "CMakeFiles/fig12_oversub_sgemm.dir/fig12_oversub_sgemm.cpp.o.d"
+  "fig12_oversub_sgemm"
+  "fig12_oversub_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_oversub_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_eviction_levels.dir/fig13_eviction_levels.cpp.o"
+  "CMakeFiles/fig13_eviction_levels.dir/fig13_eviction_levels.cpp.o.d"
+  "fig13_eviction_levels"
+  "fig13_eviction_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_eviction_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

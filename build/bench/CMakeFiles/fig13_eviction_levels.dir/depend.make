@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_eviction_levels.
+# This may be replaced when dependencies are built.

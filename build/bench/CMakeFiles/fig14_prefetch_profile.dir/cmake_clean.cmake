@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_prefetch_profile.dir/fig14_prefetch_profile.cpp.o"
+  "CMakeFiles/fig14_prefetch_profile.dir/fig14_prefetch_profile.cpp.o.d"
+  "fig14_prefetch_profile"
+  "fig14_prefetch_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_prefetch_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

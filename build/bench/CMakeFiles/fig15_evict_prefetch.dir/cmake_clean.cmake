@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_evict_prefetch.dir/fig15_evict_prefetch.cpp.o"
+  "CMakeFiles/fig15_evict_prefetch.dir/fig15_evict_prefetch.cpp.o.d"
+  "fig15_evict_prefetch"
+  "fig15_evict_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_evict_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_gauss_seidel_case.dir/fig16_gauss_seidel_case.cpp.o"
+  "CMakeFiles/fig16_gauss_seidel_case.dir/fig16_gauss_seidel_case.cpp.o.d"
+  "fig16_gauss_seidel_case"
+  "fig16_gauss_seidel_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_gauss_seidel_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

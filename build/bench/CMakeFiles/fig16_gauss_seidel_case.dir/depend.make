@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_gauss_seidel_case.
+# This may be replaced when dependencies are built.

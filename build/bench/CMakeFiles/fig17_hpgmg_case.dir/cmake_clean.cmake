@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_hpgmg_case.dir/fig17_hpgmg_case.cpp.o"
+  "CMakeFiles/fig17_hpgmg_case.dir/fig17_hpgmg_case.cpp.o.d"
+  "fig17_hpgmg_case"
+  "fig17_hpgmg_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hpgmg_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

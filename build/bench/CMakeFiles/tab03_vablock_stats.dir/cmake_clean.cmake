@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_vablock_stats.dir/tab03_vablock_stats.cpp.o"
+  "CMakeFiles/tab03_vablock_stats.dir/tab03_vablock_stats.cpp.o.d"
+  "tab03_vablock_stats"
+  "tab03_vablock_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_vablock_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_kernel_times.dir/tab04_kernel_times.cpp.o"
+  "CMakeFiles/tab04_kernel_times.dir/tab04_kernel_times.cpp.o.d"
+  "tab04_kernel_times"
+  "tab04_kernel_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_kernel_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_trace.dir/driver_trace.cpp.o"
+  "CMakeFiles/driver_trace.dir/driver_trace.cpp.o.d"
+  "driver_trace"
+  "driver_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_contention.dir/multi_gpu_contention.cpp.o"
+  "CMakeFiles/multi_gpu_contention.dir/multi_gpu_contention.cpp.o.d"
+  "multi_gpu_contention"
+  "multi_gpu_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

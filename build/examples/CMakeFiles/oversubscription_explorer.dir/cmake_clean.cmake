@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscription_explorer.dir/oversubscription_explorer.cpp.o"
+  "CMakeFiles/oversubscription_explorer.dir/oversubscription_explorer.cpp.o.d"
+  "oversubscription_explorer"
+  "oversubscription_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscription_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

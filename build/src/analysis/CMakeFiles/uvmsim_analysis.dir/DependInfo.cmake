@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_plot.cpp" "src/analysis/CMakeFiles/uvmsim_analysis.dir/ascii_plot.cpp.o" "gcc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/analysis/log_io.cpp" "src/analysis/CMakeFiles/uvmsim_analysis.dir/log_io.cpp.o" "gcc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/log_io.cpp.o.d"
+  "/root/repo/src/analysis/parallelism.cpp" "src/analysis/CMakeFiles/uvmsim_analysis.dir/parallelism.cpp.o" "gcc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/parallelism.cpp.o.d"
+  "/root/repo/src/analysis/summary.cpp" "src/analysis/CMakeFiles/uvmsim_analysis.dir/summary.cpp.o" "gcc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/summary.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/uvmsim_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/uvmsim_analysis.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uvm/CMakeFiles/uvmsim_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostos/CMakeFiles/uvmsim_hostos.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/uvmsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_analysis.dir/ascii_plot.cpp.o"
+  "CMakeFiles/uvmsim_analysis.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/uvmsim_analysis.dir/log_io.cpp.o"
+  "CMakeFiles/uvmsim_analysis.dir/log_io.cpp.o.d"
+  "CMakeFiles/uvmsim_analysis.dir/parallelism.cpp.o"
+  "CMakeFiles/uvmsim_analysis.dir/parallelism.cpp.o.d"
+  "CMakeFiles/uvmsim_analysis.dir/summary.cpp.o"
+  "CMakeFiles/uvmsim_analysis.dir/summary.cpp.o.d"
+  "CMakeFiles/uvmsim_analysis.dir/table.cpp.o"
+  "CMakeFiles/uvmsim_analysis.dir/table.cpp.o.d"
+  "libuvmsim_analysis.a"
+  "libuvmsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

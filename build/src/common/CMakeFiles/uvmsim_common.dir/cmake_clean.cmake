@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_common.dir/log.cpp.o"
+  "CMakeFiles/uvmsim_common.dir/log.cpp.o.d"
+  "CMakeFiles/uvmsim_common.dir/rng.cpp.o"
+  "CMakeFiles/uvmsim_common.dir/rng.cpp.o.d"
+  "CMakeFiles/uvmsim_common.dir/stats.cpp.o"
+  "CMakeFiles/uvmsim_common.dir/stats.cpp.o.d"
+  "libuvmsim_common.a"
+  "libuvmsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

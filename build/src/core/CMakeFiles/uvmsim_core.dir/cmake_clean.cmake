@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_core.dir/explicit_baseline.cpp.o"
+  "CMakeFiles/uvmsim_core.dir/explicit_baseline.cpp.o.d"
+  "CMakeFiles/uvmsim_core.dir/multi_client.cpp.o"
+  "CMakeFiles/uvmsim_core.dir/multi_client.cpp.o.d"
+  "CMakeFiles/uvmsim_core.dir/system.cpp.o"
+  "CMakeFiles/uvmsim_core.dir/system.cpp.o.d"
+  "libuvmsim_core.a"
+  "libuvmsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/fault_buffer.cpp" "src/gpu/CMakeFiles/uvmsim_gpu.dir/fault_buffer.cpp.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/fault_buffer.cpp.o.d"
+  "/root/repo/src/gpu/gpu_engine.cpp" "src/gpu/CMakeFiles/uvmsim_gpu.dir/gpu_engine.cpp.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/gpu_engine.cpp.o.d"
+  "/root/repo/src/gpu/gpu_memory.cpp" "src/gpu/CMakeFiles/uvmsim_gpu.dir/gpu_memory.cpp.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/gpu_memory.cpp.o.d"
+  "/root/repo/src/gpu/utlb.cpp" "src/gpu/CMakeFiles/uvmsim_gpu.dir/utlb.cpp.o" "gcc" "src/gpu/CMakeFiles/uvmsim_gpu.dir/utlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_gpu.dir/fault_buffer.cpp.o"
+  "CMakeFiles/uvmsim_gpu.dir/fault_buffer.cpp.o.d"
+  "CMakeFiles/uvmsim_gpu.dir/gpu_engine.cpp.o"
+  "CMakeFiles/uvmsim_gpu.dir/gpu_engine.cpp.o.d"
+  "CMakeFiles/uvmsim_gpu.dir/gpu_memory.cpp.o"
+  "CMakeFiles/uvmsim_gpu.dir/gpu_memory.cpp.o.d"
+  "CMakeFiles/uvmsim_gpu.dir/utlb.cpp.o"
+  "CMakeFiles/uvmsim_gpu.dir/utlb.cpp.o.d"
+  "libuvmsim_gpu.a"
+  "libuvmsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

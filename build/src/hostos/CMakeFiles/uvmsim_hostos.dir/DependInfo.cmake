@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostos/dma.cpp" "src/hostos/CMakeFiles/uvmsim_hostos.dir/dma.cpp.o" "gcc" "src/hostos/CMakeFiles/uvmsim_hostos.dir/dma.cpp.o.d"
+  "/root/repo/src/hostos/host_memory.cpp" "src/hostos/CMakeFiles/uvmsim_hostos.dir/host_memory.cpp.o" "gcc" "src/hostos/CMakeFiles/uvmsim_hostos.dir/host_memory.cpp.o.d"
+  "/root/repo/src/hostos/page_table.cpp" "src/hostos/CMakeFiles/uvmsim_hostos.dir/page_table.cpp.o" "gcc" "src/hostos/CMakeFiles/uvmsim_hostos.dir/page_table.cpp.o.d"
+  "/root/repo/src/hostos/radix_tree.cpp" "src/hostos/CMakeFiles/uvmsim_hostos.dir/radix_tree.cpp.o" "gcc" "src/hostos/CMakeFiles/uvmsim_hostos.dir/radix_tree.cpp.o.d"
+  "/root/repo/src/hostos/unmap.cpp" "src/hostos/CMakeFiles/uvmsim_hostos.dir/unmap.cpp.o" "gcc" "src/hostos/CMakeFiles/uvmsim_hostos.dir/unmap.cpp.o.d"
+  "/root/repo/src/hostos/vma.cpp" "src/hostos/CMakeFiles/uvmsim_hostos.dir/vma.cpp.o" "gcc" "src/hostos/CMakeFiles/uvmsim_hostos.dir/vma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

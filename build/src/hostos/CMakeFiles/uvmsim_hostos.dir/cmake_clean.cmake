@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_hostos.dir/dma.cpp.o"
+  "CMakeFiles/uvmsim_hostos.dir/dma.cpp.o.d"
+  "CMakeFiles/uvmsim_hostos.dir/host_memory.cpp.o"
+  "CMakeFiles/uvmsim_hostos.dir/host_memory.cpp.o.d"
+  "CMakeFiles/uvmsim_hostos.dir/page_table.cpp.o"
+  "CMakeFiles/uvmsim_hostos.dir/page_table.cpp.o.d"
+  "CMakeFiles/uvmsim_hostos.dir/radix_tree.cpp.o"
+  "CMakeFiles/uvmsim_hostos.dir/radix_tree.cpp.o.d"
+  "CMakeFiles/uvmsim_hostos.dir/unmap.cpp.o"
+  "CMakeFiles/uvmsim_hostos.dir/unmap.cpp.o.d"
+  "CMakeFiles/uvmsim_hostos.dir/vma.cpp.o"
+  "CMakeFiles/uvmsim_hostos.dir/vma.cpp.o.d"
+  "libuvmsim_hostos.a"
+  "libuvmsim_hostos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_hostos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

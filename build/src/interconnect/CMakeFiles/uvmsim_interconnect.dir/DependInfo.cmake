@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/copy_engine.cpp" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/copy_engine.cpp.o" "gcc" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/copy_engine.cpp.o.d"
+  "/root/repo/src/interconnect/pcie.cpp" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/pcie.cpp.o" "gcc" "src/interconnect/CMakeFiles/uvmsim_interconnect.dir/pcie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_interconnect.dir/copy_engine.cpp.o"
+  "CMakeFiles/uvmsim_interconnect.dir/copy_engine.cpp.o.d"
+  "CMakeFiles/uvmsim_interconnect.dir/pcie.cpp.o"
+  "CMakeFiles/uvmsim_interconnect.dir/pcie.cpp.o.d"
+  "libuvmsim_interconnect.a"
+  "libuvmsim_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

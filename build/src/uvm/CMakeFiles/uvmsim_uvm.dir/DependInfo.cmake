@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uvm/dedup.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/dedup.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/dedup.cpp.o.d"
+  "/root/repo/src/uvm/eviction.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o.d"
+  "/root/repo/src/uvm/fault_servicer.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o.d"
+  "/root/repo/src/uvm/prefetcher.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/uvm/uvm_driver.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o.d"
+  "/root/repo/src/uvm/va_block.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/va_block.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/va_block.cpp.o.d"
+  "/root/repo/src/uvm/va_space.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/va_space.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/va_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uvmsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostos/CMakeFiles/uvmsim_hostos.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/uvmsim_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

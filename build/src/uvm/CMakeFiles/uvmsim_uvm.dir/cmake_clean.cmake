@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_uvm.dir/dedup.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/dedup.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/va_block.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/va_block.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/va_space.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/va_space.cpp.o.d"
+  "libuvmsim_uvm.a"
+  "libuvmsim_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/gauss_seidel.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/gauss_seidel.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/gauss_seidel.cpp.o.d"
+  "/root/repo/src/workloads/gemm.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/gemm.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/gemm.cpp.o.d"
+  "/root/repo/src/workloads/hpgmg.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/hpgmg.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/hpgmg.cpp.o.d"
+  "/root/repo/src/workloads/microbench.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/microbench.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/microbench.cpp.o.d"
+  "/root/repo/src/workloads/stream.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/stream.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/stream.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/uvmsim_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmsim_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/uvmsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/uvmsim_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostos/CMakeFiles/uvmsim_hostos.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uvmsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmsim_workloads.dir/fft.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/gauss_seidel.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/gauss_seidel.cpp.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/gemm.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/gemm.cpp.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/hpgmg.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/hpgmg.cpp.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/microbench.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/microbench.cpp.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/stream.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/stream.cpp.o.d"
+  "CMakeFiles/uvmsim_workloads.dir/workload.cpp.o"
+  "CMakeFiles/uvmsim_workloads.dir/workload.cpp.o.d"
+  "libuvmsim_workloads.a"
+  "libuvmsim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmsim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

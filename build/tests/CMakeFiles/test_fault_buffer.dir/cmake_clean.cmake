@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_buffer.dir/test_fault_buffer.cpp.o"
+  "CMakeFiles/test_fault_buffer.dir/test_fault_buffer.cpp.o.d"
+  "test_fault_buffer"
+  "test_fault_buffer.pdb"
+  "test_fault_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

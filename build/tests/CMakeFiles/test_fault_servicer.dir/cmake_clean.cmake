@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_servicer.dir/test_fault_servicer.cpp.o"
+  "CMakeFiles/test_fault_servicer.dir/test_fault_servicer.cpp.o.d"
+  "test_fault_servicer"
+  "test_fault_servicer.pdb"
+  "test_fault_servicer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_servicer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memadvise.dir/test_memadvise.cpp.o"
+  "CMakeFiles/test_memadvise.dir/test_memadvise.cpp.o.d"
+  "test_memadvise"
+  "test_memadvise.pdb"
+  "test_memadvise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memadvise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallelism.dir/test_parallelism.cpp.o"
+  "CMakeFiles/test_parallelism.dir/test_parallelism.cpp.o.d"
+  "test_parallelism"
+  "test_parallelism.pdb"
+  "test_parallelism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

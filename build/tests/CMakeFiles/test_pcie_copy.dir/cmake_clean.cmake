@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcie_copy.dir/test_pcie_copy.cpp.o"
+  "CMakeFiles/test_pcie_copy.dir/test_pcie_copy.cpp.o.d"
+  "test_pcie_copy"
+  "test_pcie_copy.pdb"
+  "test_pcie_copy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcie_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

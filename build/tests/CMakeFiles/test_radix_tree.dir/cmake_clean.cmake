@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radix_tree.dir/test_radix_tree.cpp.o"
+  "CMakeFiles/test_radix_tree.dir/test_radix_tree.cpp.o.d"
+  "test_radix_tree"
+  "test_radix_tree.pdb"
+  "test_radix_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radix_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

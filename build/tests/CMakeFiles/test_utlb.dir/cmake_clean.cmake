@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utlb.dir/test_utlb.cpp.o"
+  "CMakeFiles/test_utlb.dir/test_utlb.cpp.o.d"
+  "test_utlb"
+  "test_utlb.pdb"
+  "test_utlb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

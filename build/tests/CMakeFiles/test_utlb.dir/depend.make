@@ -1,0 +1,2 @@
+# Empty dependencies file for test_utlb.
+# This may be replaced when dependencies are built.

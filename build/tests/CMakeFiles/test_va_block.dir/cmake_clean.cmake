@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_va_block.dir/test_va_block.cpp.o"
+  "CMakeFiles/test_va_block.dir/test_va_block.cpp.o.d"
+  "test_va_block"
+  "test_va_block.pdb"
+  "test_va_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_va_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

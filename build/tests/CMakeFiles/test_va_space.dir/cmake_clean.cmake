@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_va_space.dir/test_va_space.cpp.o"
+  "CMakeFiles/test_va_space.dir/test_va_space.cpp.o.d"
+  "test_va_space"
+  "test_va_space.pdb"
+  "test_va_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_va_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

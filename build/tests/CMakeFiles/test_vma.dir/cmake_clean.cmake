@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vma.dir/test_vma.cpp.o"
+  "CMakeFiles/test_vma.dir/test_vma.cpp.o.d"
+  "test_vma"
+  "test_vma.pdb"
+  "test_vma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

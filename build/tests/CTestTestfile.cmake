@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_radix_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_page_table[1]_include.cmake")
+include("/root/repo/build/tests/test_vma[1]_include.cmake")
+include("/root/repo/build/tests/test_host_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_unmap_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_dma[1]_include.cmake")
+include("/root/repo/build/tests/test_pcie_copy[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_utlb[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_va_block[1]_include.cmake")
+include("/root/repo/build/tests/test_va_space[1]_include.cmake")
+include("/root/repo/build/tests/test_dedup[1]_include.cmake")
+include("/root/repo/build/tests/test_prefetcher[1]_include.cmake")
+include("/root/repo/build/tests/test_eviction[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_servicer[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_driver_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_parallelism[1]_include.cmake")
+include("/root/repo/build/tests/test_log_io[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_client[1]_include.cmake")
+include("/root/repo/build/tests/test_memadvise[1]_include.cmake")
+include("/root/repo/build/tests/test_system_sweeps[1]_include.cmake")
