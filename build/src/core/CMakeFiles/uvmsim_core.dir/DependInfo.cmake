@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/explicit_baseline.cpp" "src/core/CMakeFiles/uvmsim_core.dir/explicit_baseline.cpp.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/explicit_baseline.cpp.o.d"
   "/root/repo/src/core/multi_client.cpp" "src/core/CMakeFiles/uvmsim_core.dir/multi_client.cpp.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/multi_client.cpp.o.d"
+  "/root/repo/src/core/parallel_runner.cpp" "src/core/CMakeFiles/uvmsim_core.dir/parallel_runner.cpp.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/parallel_runner.cpp.o.d"
   "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/uvmsim_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/uvmsim_core.dir/system.cpp.o.d"
   )
 

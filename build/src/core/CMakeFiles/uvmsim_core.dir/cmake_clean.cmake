@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/uvmsim_core.dir/explicit_baseline.cpp.o.d"
   "CMakeFiles/uvmsim_core.dir/multi_client.cpp.o"
   "CMakeFiles/uvmsim_core.dir/multi_client.cpp.o.d"
+  "CMakeFiles/uvmsim_core.dir/parallel_runner.cpp.o"
+  "CMakeFiles/uvmsim_core.dir/parallel_runner.cpp.o.d"
   "CMakeFiles/uvmsim_core.dir/system.cpp.o"
   "CMakeFiles/uvmsim_core.dir/system.cpp.o.d"
   "libuvmsim_core.a"

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/uvm/dedup.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/dedup.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/dedup.cpp.o.d"
   "/root/repo/src/uvm/eviction.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o.d"
   "/root/repo/src/uvm/fault_servicer.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o.d"
+  "/root/repo/src/uvm/lpt_schedule.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/lpt_schedule.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/lpt_schedule.cpp.o.d"
   "/root/repo/src/uvm/prefetcher.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o.d"
   "/root/repo/src/uvm/uvm_driver.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o.d"
   "/root/repo/src/uvm/va_block.cpp" "src/uvm/CMakeFiles/uvmsim_uvm.dir/va_block.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmsim_uvm.dir/va_block.cpp.o.d"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/uvmsim_uvm.dir/eviction.cpp.o.d"
   "CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o"
   "CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o.d"
+  "CMakeFiles/uvmsim_uvm.dir/lpt_schedule.cpp.o"
+  "CMakeFiles/uvmsim_uvm.dir/lpt_schedule.cpp.o.d"
   "CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o"
   "CMakeFiles/uvmsim_uvm.dir/prefetcher.cpp.o.d"
   "CMakeFiles/uvmsim_uvm.dir/uvm_driver.cpp.o"

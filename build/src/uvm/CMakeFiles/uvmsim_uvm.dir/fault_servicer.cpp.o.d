@@ -218,4 +218,5 @@ src/uvm/CMakeFiles/uvmsim_uvm.dir/fault_servicer.cpp.o: \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/uvm/va_block.hpp \
- /root/repo/src/uvm/dedup.hpp
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/uvm/dedup.hpp /root/repo/src/uvm/lpt_schedule.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpt_schedule.dir/test_lpt_schedule.cpp.o"
+  "CMakeFiles/test_lpt_schedule.dir/test_lpt_schedule.cpp.o.d"
+  "test_lpt_schedule"
+  "test_lpt_schedule.pdb"
+  "test_lpt_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpt_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

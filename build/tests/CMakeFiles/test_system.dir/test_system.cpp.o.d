@@ -312,4 +312,4 @@ tests/CMakeFiles/test_system.dir/test_system.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/explicit_baseline.hpp
+ /root/repo/src/core/explicit_baseline.hpp /root/repo/tests/test_util.hpp

@@ -293,13 +293,13 @@ tests/CMakeFiles/test_system_sweeps.dir/test_system_sweeps.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/core/system.hpp /root/repo/src/gpu/gpu_config.hpp \
- /root/repo/src/common/types.hpp /root/repo/src/gpu/gpu_engine.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/rng.hpp \
- /root/repo/src/gpu/fault_buffer.hpp /root/repo/src/gpu/fault.hpp \
- /root/repo/src/gpu/kernel_desc.hpp /root/repo/src/gpu/utlb.hpp \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/core/parallel_runner.hpp /root/repo/src/core/system.hpp \
+ /root/repo/src/gpu/gpu_config.hpp /root/repo/src/common/types.hpp \
+ /root/repo/src/gpu/gpu_engine.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/common/rng.hpp /root/repo/src/gpu/fault_buffer.hpp \
+ /root/repo/src/gpu/fault.hpp /root/repo/src/gpu/kernel_desc.hpp \
+ /root/repo/src/gpu/utlb.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/interconnect/pcie.hpp \
  /root/repo/src/uvm/driver_config.hpp /root/repo/src/hostos/dma.hpp \
@@ -311,4 +311,5 @@ tests/CMakeFiles/test_system_sweeps.dir/test_system_sweeps.cpp.o: \
  /root/repo/src/uvm/fault_servicer.hpp /root/repo/src/uvm/prefetcher.hpp \
  /usr/include/c++/12/bitset /root/repo/src/uvm/va_space.hpp \
  /root/repo/src/hostos/page_table.hpp /root/repo/src/hostos/vma.hpp \
- /root/repo/src/uvm/va_block.hpp /root/repo/src/workloads/workload.hpp
+ /root/repo/src/uvm/va_block.hpp /root/repo/src/workloads/workload.hpp \
+ /root/repo/tests/test_util.hpp

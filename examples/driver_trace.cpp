@@ -5,7 +5,10 @@
 //
 //   $ ./examples/driver_trace            # default: gauss-seidel
 //   $ ./examples/driver_trace stream     # or: sgemm, hpgmg, fft, random
+//   $ ./examples/driver_trace stream vablock 4   # §6 live parallel model
+//   $ ./examples/driver_trace stream sm 8        # (serial|vablock|sm, K)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "analysis/table.hpp"
@@ -53,13 +56,26 @@ int main(int argc, char** argv) {
 
   const auto spec = pick_workload(argc > 1 ? argv[1] : nullptr);
   SystemConfig cfg = presets::scaled_titan_v(256);
+  const char* policy = argc > 2 ? argv[2] : "serial";
+  if (std::strcmp(policy, "vablock") == 0) {
+    cfg.driver.parallelism.policy = ServicingPolicy::kPerVaBlock;
+  } else if (std::strcmp(policy, "sm") == 0) {
+    cfg.driver.parallelism.policy = ServicingPolicy::kPerSm;
+  } else if (std::strcmp(policy, "serial") != 0) {
+    std::fprintf(stderr, "unknown policy '%s' (serial|vablock|sm)\n", policy);
+    return 1;
+  }
+  cfg.driver.parallelism.workers =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 1;
+
   System system(cfg);
   const auto result = system.run(spec);
 
-  std::printf("workload %s: %zu batches, kernel %.2f ms, %llu faults "
+  std::printf("workload %s (servicing %s, %u workers): %zu batches, "
+              "kernel %.2f ms, %llu faults "
               "(%llu raw duplicates at the hardware level)\n\n",
-              spec.name.c_str(), result.log.size(),
-              result.kernel_time_ns / 1e6,
+              spec.name.c_str(), policy, cfg.driver.parallelism.workers,
+              result.log.size(), result.kernel_time_ns / 1e6,
               static_cast<unsigned long long>(result.total_faults),
               static_cast<unsigned long long>(result.duplicate_emissions));
 

@@ -1,31 +1,15 @@
 #include "analysis/parallelism.hpp"
 
-#include <algorithm>
-#include <vector>
+#include "uvm/lpt_schedule.hpp"
 
 namespace uvmsim {
 namespace {
 
-/// LPT makespan: sort jobs descending, place each on the least-loaded
-/// worker. Classic 4/3-approximation; good enough for a what-if bound.
-SimTime lpt_makespan(std::vector<SimTime> jobs, unsigned workers) {
-  if (jobs.empty() || workers == 0) return 0;
-  std::sort(jobs.begin(), jobs.end(), std::greater<>());
-  std::vector<SimTime> load(workers, 0);
-  for (const SimTime job : jobs) {
-    auto it = std::min_element(load.begin(), load.end());
-    *it += job;
-  }
-  return *std::max_element(load.begin(), load.end());
-}
-
-struct BatchSplit {
-  SimTime serial = 0;    // un-parallelizable share
-  SimTime parallel = 0;  // work divided among workers
-};
-
+/// Shared core: derive each batch's work units with `policy`, schedule
+/// them on `workers` threads via the same lpt_schedule code the live
+/// FaultServicer uses, and aggregate speedup/efficiency/imbalance.
 ParallelEstimate estimate(const BatchLog& log, unsigned workers,
-                          const auto& jobs_of) {
+                          ServicingPolicy policy) {
   ParallelEstimate out;
   SimTime total_serial_time = 0;
   SimTime total_parallel_time = 0;
@@ -33,29 +17,25 @@ ParallelEstimate estimate(const BatchLog& log, unsigned workers,
   double imbalance_sum = 0;
 
   for (const auto& rec : log) {
-    const std::vector<SimTime> jobs = jobs_of(rec);
-    SimTime parallel_work = 0;
-    for (const SimTime j : jobs) parallel_work += j;
+    const std::vector<SimTime> jobs = batch_parallel_jobs(rec, policy);
     const SimTime duration = rec.duration_ns();
-    const SimTime serial_part =
-        duration > parallel_work ? duration - parallel_work : 0;
-
-    const SimTime makespan = lpt_makespan(jobs, workers);
-    const SimTime parallel_duration = serial_part + makespan;
+    const BatchSchedule sched = schedule_batch(duration, jobs, workers);
 
     total_serial_time += duration;
-    total_parallel_time += parallel_duration;
+    total_parallel_time += sched.duration_ns();
 
-    if (parallel_duration > 0) {
-      const double batch_speedup = static_cast<double>(duration) /
-                                   static_cast<double>(parallel_duration);
+    if (sched.duration_ns() > 0) {
+      const double batch_speedup =
+          static_cast<double>(duration) /
+          static_cast<double>(sched.duration_ns());
       efficiency_sum += batch_speedup / static_cast<double>(workers);
     }
-    if (!jobs.empty() && makespan > 0) {
-      const double ideal = static_cast<double>(parallel_work) /
+    if (!jobs.empty() && sched.makespan_ns > 0) {
+      const double ideal = static_cast<double>(sched.parallel_work_ns) /
                            static_cast<double>(workers);
       if (ideal > 0) {
-        imbalance_sum += static_cast<double>(makespan) / ideal - 1.0;
+        imbalance_sum +=
+            static_cast<double>(sched.makespan_ns) / ideal - 1.0;
       }
     }
     ++out.batches;
@@ -76,37 +56,12 @@ ParallelEstimate estimate(const BatchLog& log, unsigned workers,
 
 ParallelEstimate estimate_vablock_parallel(const BatchLog& log,
                                            unsigned workers) {
-  return estimate(log, workers, [](const BatchRecord& rec) {
-    std::vector<SimTime> jobs;
-    jobs.reserve(rec.vablock_service_ns.size());
-    for (const auto& [block, time] : rec.vablock_service_ns) {
-      jobs.push_back(time);
-    }
-    return jobs;
-  });
+  return estimate(log, workers, ServicingPolicy::kPerVaBlock);
 }
 
 ParallelEstimate estimate_per_sm_parallel(const BatchLog& log,
                                           unsigned workers) {
-  return estimate(log, workers, [](const BatchRecord& rec) {
-    // Parallelizable time = the per-VABlock servicing work; split it by
-    // each SM's share of the batch's faults (per-SM replay would let a
-    // worker own one SM's faults end to end).
-    SimTime parallel_work = 0;
-    for (const auto& [block, time] : rec.vablock_service_ns) {
-      parallel_work += time;
-    }
-    std::uint64_t total_faults = 0;
-    for (const auto count : rec.faults_per_sm) total_faults += count;
-
-    std::vector<SimTime> jobs;
-    if (total_faults == 0 || parallel_work == 0) return jobs;
-    for (const auto count : rec.faults_per_sm) {
-      if (count == 0) continue;
-      jobs.push_back(parallel_work * count / total_faults);
-    }
-    return jobs;
-  });
+  return estimate(log, workers, ServicingPolicy::kPerSm);
 }
 
 }  // namespace uvmsim

@@ -11,6 +11,12 @@
 // are assigned to k workers with LPT (longest-processing-time-first)
 // scheduling, and the resulting makespan is compared with serial
 // execution. Serial phase costs (fetch, dedup, replay) stay serial.
+//
+// The job derivation and scheduling arithmetic live in
+// uvm/lpt_schedule.hpp, shared with the live parallel-servicing model in
+// FaultServicer (DriverConfig::parallelism): an estimate computed here on
+// a serially-recorded log equals, batch for batch, the time the live
+// model charges with the same policy and worker count.
 #pragma once
 
 #include <cstdint>

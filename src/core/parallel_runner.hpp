@@ -1,0 +1,42 @@
+// Host-side parallel experiment runner.
+//
+// Each simulated System is single-threaded and deterministic, but sweeps
+// and benches run MANY independent systems (one per sweep point / roster
+// entry). This small std::thread pool runs those instances concurrently
+// and returns results in job order, so a sweep's output is byte-identical
+// to its serial equivalent regardless of thread interleaving.
+//
+// This parallelizes the *host* across simulations — distinct from
+// DriverConfig::parallelism, which models parallelism *inside* one
+// simulated driver (uvm/lpt_schedule.hpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/system.hpp"
+
+namespace uvmsim {
+
+/// One experiment: a fresh System(config) executing spec cold.
+struct RunJob {
+  SystemConfig config;
+  WorkloadSpec spec;
+};
+
+/// Run `tasks` on up to `threads` worker threads (0 = one per hardware
+/// thread, at most one per task). results[i] is tasks[i]'s return value.
+/// If any task throws, the first exception (by task index) is rethrown
+/// after all workers have drained.
+std::vector<RunResult> run_tasks(
+    const std::vector<std::function<RunResult()>>& tasks,
+    unsigned threads = 0);
+
+/// Convenience: one System per job, run concurrently, results in job
+/// order. Equivalent to { System s(job.config); return s.run(job.spec); }
+/// for each job serially — every System is confined to one worker thread.
+std::vector<RunResult> run_parallel(const std::vector<RunJob>& jobs,
+                                    unsigned threads = 0);
+
+}  // namespace uvmsim

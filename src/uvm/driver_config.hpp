@@ -18,6 +18,30 @@ namespace uvmsim {
 
 enum class EvictPolicy : std::uint8_t { kLru, kFifo };
 
+/// How the driver worker schedules one batch's independent work units
+/// (paper §6: the driver is a serial bottleneck; the authors weigh
+/// per-VABlock against per-SM parallelization).
+enum class ServicingPolicy : std::uint8_t {
+  kSerial,      // stock driver: one worker services the batch end to end
+  kPerVaBlock,  // per-VABlock service costs spread over k workers
+  kPerSm,       // per-SM fault shares spread over k workers (needs
+                // targeted per-SM replay hardware support)
+};
+
+/// Simulated driver-parallelism knob. With a non-serial policy and
+/// workers > 1, each batch's parallelizable work units are LPT-scheduled
+/// onto `workers` simulated threads and the batch's serviced time becomes
+/// the makespan plus the still-serial phases (fetch, dedup, replay).
+/// workers <= 1 is always bit-identical to kSerial.
+struct DriverParallelismConfig {
+  ServicingPolicy policy = ServicingPolicy::kSerial;
+  std::uint32_t workers = 1;
+
+  bool active() const noexcept {
+    return policy != ServicingPolicy::kSerial && workers > 1;
+  }
+};
+
 struct DriverConfig {
   // ---- Policies -------------------------------------------------------
   std::uint32_t batch_size = 256;     // default UVM_PERF_FAULT_BATCH_COUNT
@@ -38,6 +62,10 @@ struct DriverConfig {
   std::uint32_t adaptive_max_batch = 2048;
   double adaptive_high_dup_rate = 0.60;  // shrink above this
   double adaptive_low_dup_rate = 0.30;   // grow below this
+
+  // "Parallelizing the driver": live model of a multi-threaded fault
+  // servicer. Default = serial stock driver; see DriverParallelismConfig.
+  DriverParallelismConfig parallelism{};
 
   // "Performing these operations asynchronously and preemptively may be
   // preferable": move unmap_mapping_range and DMA-map/radix setup off the

@@ -2,8 +2,10 @@
 
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "uvm/dedup.hpp"
+#include "uvm/lpt_schedule.hpp"
 
 namespace uvmsim {
 
@@ -78,12 +80,20 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
   record.phases.fetch_ns =
       config_.batch_fixed_ns + config_.per_fault_fetch_ns * raw.size();
 
-  if (config_.record_per_sm_counts) {
-    record.faults_per_sm.assign(num_sms_, 0);
+  // The live per-SM servicing model needs the per-SM counts even when the
+  // Table-2 instrumentation is switched off.
+  const bool parallel = config_.parallelism.active();
+  const bool need_sm_counts =
+      config_.record_per_sm_counts ||
+      (parallel && config_.parallelism.policy == ServicingPolicy::kPerSm);
+  std::vector<std::uint16_t> sm_counts;
+  if (need_sm_counts) {
+    sm_counts.assign(num_sms_, 0);
     for (const auto& f : raw) {
-      if (f.sm < num_sms_) ++record.faults_per_sm[f.sm];
+      if (f.sm < num_sms_) ++sm_counts[f.sm];
     }
   }
+  if (config_.record_per_sm_counts) record.faults_per_sm = sm_counts;
   for (const auto& f : raw) {
     switch (f.access) {
       case AccessType::kRead: ++record.counters.read_faults; break;
@@ -110,6 +120,10 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
 
   const TreePrefetcher prefetcher(config_.prefetch_threshold,
                                   config_.big_page_promotion);
+
+  // Per-VABlock service costs double as the parallel model's work units.
+  std::vector<SimTime> block_costs;
+  if (parallel) block_costs.reserve(by_block.size());
 
   for (auto& [block_id, faults] : by_block) {
     VaBlockState& block = space_.block(block_id);
@@ -207,9 +221,10 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
         (prefetch_mask & ~faulted).count());
 
     evictor_.touch(block_id);
+    const SimTime block_cost = record.phases.sum() - block_cost_start;
+    if (parallel) block_costs.push_back(block_cost);
     if (config_.record_vablock_detail) {
-      record.vablock_service_ns.emplace_back(
-          block_id, record.phases.sum() - block_cost_start);
+      record.vablock_service_ns.emplace_back(block_id, block_cost);
     }
   }
 
@@ -221,6 +236,24 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     // consume host time (accounted by the driver) but do not delay the
     // replay.
     critical_path -= record.phases.unmap_ns + record.phases.dma_map_ns;
+  }
+  if (parallel) {
+    // §6 live model: the batch's independent work units run on k simulated
+    // driver threads; everything outside them (fetch, dedup, replay, the
+    // per-SM rounding remainder) stays serial. schedule_batch is shared
+    // with the analysis::parallelism what-if estimator, so live timings
+    // and post-hoc estimates on the same batch agree exactly.
+    std::vector<SimTime> jobs;
+    if (config_.parallelism.policy == ServicingPolicy::kPerVaBlock) {
+      jobs = std::move(block_costs);
+    } else {
+      SimTime parallel_work = 0;
+      for (const SimTime cost : block_costs) parallel_work += cost;
+      jobs = split_by_share(parallel_work, sm_counts);
+    }
+    critical_path = schedule_batch(critical_path, jobs,
+                                   config_.parallelism.workers)
+                        .duration_ns();
   }
   record.end_ns = start + critical_path;
   return record;

@@ -14,6 +14,11 @@
 // Each phase's simulated cost is accumulated into BatchPhaseTimes; all
 // event counts into BatchCounters — the same metadata the authors' modified
 // driver logs per batch.
+//
+// When DriverConfig::parallelism selects per-VABlock or per-SM servicing
+// with k > 1 workers, the batch's independent work units are LPT-scheduled
+// (uvm/lpt_schedule.hpp) and the serviced time becomes serial phases +
+// makespan; state updates are unchanged, only timing differs (§6).
 #pragma once
 
 #include <cstdint>

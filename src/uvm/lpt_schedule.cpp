@@ -1,0 +1,99 @@
+#include "uvm/lpt_schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace uvmsim {
+
+LptAssignment lpt_assign(const std::vector<SimTime>& jobs, unsigned workers) {
+  if (workers == 0) workers = 1;
+  LptAssignment out;
+  out.load.assign(workers, 0);
+  out.worker_of.assign(jobs.size(), 0);
+  if (jobs.empty()) return out;
+
+  // Stable descending order over original indices: equal-length jobs keep
+  // submission order, making the assignment deterministic.
+  std::vector<std::uint32_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return jobs[a] > jobs[b];
+                   });
+
+  for (const std::uint32_t job : order) {
+    const auto it = std::min_element(out.load.begin(), out.load.end());
+    const auto worker =
+        static_cast<std::uint32_t>(std::distance(out.load.begin(), it));
+    *it += jobs[job];
+    out.worker_of[job] = worker;
+  }
+  out.makespan = *std::max_element(out.load.begin(), out.load.end());
+  return out;
+}
+
+SimTime lpt_makespan(const std::vector<SimTime>& jobs, unsigned workers) {
+  return lpt_assign(jobs, workers).makespan;
+}
+
+std::vector<SimTime> split_by_share(SimTime parallel_work,
+                                    const std::vector<std::uint16_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto count : counts) total += count;
+
+  std::vector<SimTime> jobs;
+  if (total == 0 || parallel_work == 0) return jobs;
+  for (const auto count : counts) {
+    if (count == 0) continue;
+    jobs.push_back(parallel_work * count / total);
+  }
+  return jobs;
+}
+
+std::vector<SimTime> batch_parallel_jobs(const BatchRecord& record,
+                                         ServicingPolicy policy) {
+  std::vector<SimTime> jobs;
+  switch (policy) {
+    case ServicingPolicy::kSerial:
+      break;
+    case ServicingPolicy::kPerVaBlock:
+      jobs.reserve(record.vablock_service_ns.size());
+      for (const auto& [block, time] : record.vablock_service_ns) {
+        jobs.push_back(time);
+      }
+      break;
+    case ServicingPolicy::kPerSm: {
+      SimTime parallel_work = 0;
+      for (const auto& [block, time] : record.vablock_service_ns) {
+        parallel_work += time;
+      }
+      jobs = split_by_share(parallel_work, record.faults_per_sm);
+      break;
+    }
+  }
+  return jobs;
+}
+
+BatchSchedule schedule_batch(SimTime serial_duration,
+                             const std::vector<SimTime>& jobs,
+                             unsigned workers) {
+  BatchSchedule out;
+  for (const SimTime job : jobs) out.parallel_work_ns += job;
+  out.serial_ns = serial_duration > out.parallel_work_ns
+                      ? serial_duration - out.parallel_work_ns
+                      : 0;
+  out.makespan_ns = lpt_makespan(jobs, workers);
+  return out;
+}
+
+SimTime scheduled_batch_duration(const BatchRecord& record,
+                                 const DriverParallelismConfig& config) {
+  if (config.policy == ServicingPolicy::kSerial || config.workers <= 1) {
+    return record.duration_ns();
+  }
+  const auto jobs = batch_parallel_jobs(record, config.policy);
+  return schedule_batch(record.duration_ns(), jobs, config.workers)
+      .duration_ns();
+}
+
+}  // namespace uvmsim

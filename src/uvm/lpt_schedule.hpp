@@ -1,0 +1,78 @@
+// Shared LPT (longest-processing-time-first) scheduling for driver
+// parallelization (paper Section 6).
+//
+// Two consumers share this module so they cannot drift apart:
+//   * the live servicing model in FaultServicer, which turns a batch's
+//     independent work units into a makespan when
+//     DriverConfig::parallelism selects per-VABlock or per-SM servicing;
+//   * the what-if estimator in analysis/parallelism, which applies the
+//     identical arithmetic post-hoc to recorded batch logs.
+//
+// LPT is the classic 4/3-approximation to minimum makespan: sort jobs
+// descending, place each on the least-loaded worker (lowest index on
+// ties). The sort is stable, so equal-length jobs keep their submission
+// order and the resulting assignment is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "uvm/batch.hpp"
+#include "uvm/driver_config.hpp"
+
+namespace uvmsim {
+
+/// Full LPT assignment of `jobs` onto `workers` simulated threads.
+struct LptAssignment {
+  SimTime makespan = 0;                   // max per-worker load
+  std::vector<SimTime> load;              // per-worker total, size = workers
+  std::vector<std::uint32_t> worker_of;   // job index -> worker index
+};
+
+/// Assign jobs to workers via LPT. `workers` is clamped to at least 1.
+LptAssignment lpt_assign(const std::vector<SimTime>& jobs, unsigned workers);
+
+/// Makespan-only convenience (same schedule as lpt_assign).
+SimTime lpt_makespan(const std::vector<SimTime>& jobs, unsigned workers);
+
+/// Split `parallel_work` into one job per non-zero count, proportional to
+/// each count's share of the total (integer arithmetic; the rounding
+/// remainder is charged to the serial part by schedule_batch). This is
+/// the per-SM work split: a worker owning one SM's replayed faults does
+/// that SM's share of the batch's parallelizable time.
+std::vector<SimTime> split_by_share(SimTime parallel_work,
+                                    const std::vector<std::uint16_t>& counts);
+
+/// The independent work units of a recorded batch under `policy`:
+///   * kSerial     -> no jobs (the batch is one serial unit);
+///   * kPerVaBlock -> the recorded per-VABlock service times;
+///   * kPerSm      -> the summed VABlock work split by per-SM fault share.
+/// Requires the corresponding detail (vablock_service_ns / faults_per_sm)
+/// in the record; missing detail yields no jobs (serial behaviour).
+std::vector<SimTime> batch_parallel_jobs(const BatchRecord& record,
+                                         ServicingPolicy policy);
+
+/// One batch's timing under parallel servicing.
+struct BatchSchedule {
+  SimTime serial_ns = 0;         // un-parallelizable share of the batch
+  SimTime parallel_work_ns = 0;  // sum of the independent work units
+  SimTime makespan_ns = 0;       // LPT makespan of those units
+  SimTime duration_ns() const noexcept { return serial_ns + makespan_ns; }
+};
+
+/// Schedule one batch: jobs run on `workers` threads, everything else
+/// (serial_duration minus the jobs' total) stays serial. This is the
+/// single source of truth for batch timing under driver parallelism.
+BatchSchedule schedule_batch(SimTime serial_duration,
+                             const std::vector<SimTime>& jobs,
+                             unsigned workers);
+
+/// Recorded-batch convenience: recompute the batch's duration under
+/// `config` from its logged detail, treating record.duration_ns() as the
+/// serial duration. Applying this to a serially-recorded log reproduces
+/// exactly what the live servicer would have charged per batch.
+SimTime scheduled_batch_duration(const BatchRecord& record,
+                                 const DriverParallelismConfig& config);
+
+}  // namespace uvmsim

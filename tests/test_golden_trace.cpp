@@ -1,0 +1,176 @@
+// Golden-trace regression test: a canonical batch log, checked in under
+// tests/golden/, pins down the exact simulated behaviour of the default
+// driver on the paper's Listing-1 microbenchmark (vecadd-paged, one warp,
+// one page per thread) on the scaled_titan_v(256) testbed.
+//
+// Any change to fault generation, dedup, prefetching, cost constants, or
+// batch timing shows up here as a field-level diff. If the change is
+// INTENDED, regenerate the fixture and commit it alongside the change:
+//
+//   build/tools/uvmsim_cli run --workload vecadd-paged --gpu-mb 256 \
+//       --log tests/golden/vecadd_paged_titanv256.batchlog
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/log_io.hpp"
+#include "core/system.hpp"
+#include "test_util.hpp"
+
+namespace uvmsim {
+namespace {
+
+using testutil::small_config;
+
+constexpr const char* kFixture =
+    UVMSIM_GOLDEN_DIR "/vecadd_paged_titanv256.batchlog";
+constexpr const char* kRegenerate =
+    "build/tools/uvmsim_cli run --workload vecadd-paged --gpu-mb 256 "
+    "--log tests/golden/vecadd_paged_titanv256.batchlog";
+
+/// The run the fixture captures: defaults all the way down.
+RunResult golden_run() {
+  System system(small_config(256));
+  return system.run(make_vecadd_paged());
+}
+
+/// Field-by-field comparison with one human-readable line per mismatch.
+std::vector<std::string> diff_records(const BatchRecord& golden,
+                                      const BatchRecord& got) {
+  std::vector<std::string> diffs;
+  const auto cmp = [&](const char* field, auto want, auto have) {
+    if (want != have) {
+      std::ostringstream msg;
+      msg << field << ": golden " << want << " vs run " << have;
+      diffs.push_back(msg.str());
+    }
+  };
+  cmp("id", golden.id, got.id);
+  cmp("start_ns", golden.start_ns, got.start_ns);
+  cmp("end_ns", golden.end_ns, got.end_ns);
+
+  const auto& gp = golden.phases;
+  const auto& hp = got.phases;
+  cmp("phases.fetch_ns", gp.fetch_ns, hp.fetch_ns);
+  cmp("phases.dedup_ns", gp.dedup_ns, hp.dedup_ns);
+  cmp("phases.vablock_ns", gp.vablock_ns, hp.vablock_ns);
+  cmp("phases.eviction_ns", gp.eviction_ns, hp.eviction_ns);
+  cmp("phases.unmap_ns", gp.unmap_ns, hp.unmap_ns);
+  cmp("phases.populate_ns", gp.populate_ns, hp.populate_ns);
+  cmp("phases.dma_map_ns", gp.dma_map_ns, hp.dma_map_ns);
+  cmp("phases.prefetch_ns", gp.prefetch_ns, hp.prefetch_ns);
+  cmp("phases.transfer_ns", gp.transfer_ns, hp.transfer_ns);
+  cmp("phases.pagetable_ns", gp.pagetable_ns, hp.pagetable_ns);
+  cmp("phases.replay_ns", gp.replay_ns, hp.replay_ns);
+
+  const auto& gc = golden.counters;
+  const auto& hc = got.counters;
+  cmp("counters.raw_faults", gc.raw_faults, hc.raw_faults);
+  cmp("counters.unique_faults", gc.unique_faults, hc.unique_faults);
+  cmp("counters.dup_same_utlb", gc.dup_same_utlb, hc.dup_same_utlb);
+  cmp("counters.dup_cross_utlb", gc.dup_cross_utlb, hc.dup_cross_utlb);
+  cmp("counters.read_faults", gc.read_faults, hc.read_faults);
+  cmp("counters.write_faults", gc.write_faults, hc.write_faults);
+  cmp("counters.prefetch_faults", gc.prefetch_faults, hc.prefetch_faults);
+  cmp("counters.vablocks_touched", gc.vablocks_touched,
+      hc.vablocks_touched);
+  cmp("counters.first_touch_vablocks", gc.first_touch_vablocks,
+      hc.first_touch_vablocks);
+  cmp("counters.pages_migrated", gc.pages_migrated, hc.pages_migrated);
+  cmp("counters.pages_populated", gc.pages_populated, hc.pages_populated);
+  cmp("counters.pages_prefetched", gc.pages_prefetched,
+      hc.pages_prefetched);
+  cmp("counters.bytes_h2d", gc.bytes_h2d, hc.bytes_h2d);
+  cmp("counters.bytes_d2h", gc.bytes_d2h, hc.bytes_d2h);
+  cmp("counters.evictions", gc.evictions, hc.evictions);
+  cmp("counters.unmap_calls", gc.unmap_calls, hc.unmap_calls);
+  cmp("counters.pages_unmapped", gc.pages_unmapped, hc.pages_unmapped);
+  cmp("counters.dma_pages_mapped", gc.dma_pages_mapped,
+      hc.dma_pages_mapped);
+  cmp("counters.radix_nodes_allocated", gc.radix_nodes_allocated,
+      hc.radix_nodes_allocated);
+  cmp("counters.radix_grew", gc.radix_grew ? 1 : 0,
+      hc.radix_grew ? 1 : 0);
+
+  const auto cmp_list = [&](const char* field, const auto& want,
+                            const auto& have, const auto& format) {
+    if (want.size() != have.size()) {
+      std::ostringstream msg;
+      msg << field << ".size: golden " << want.size() << " vs run "
+          << have.size();
+      diffs.push_back(msg.str());
+      return;
+    }
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (want[i] != have[i]) {
+        std::ostringstream msg;
+        msg << field << "[" << i << "]: golden " << format(want[i])
+            << " vs run " << format(have[i]);
+        diffs.push_back(msg.str());
+      }
+    }
+  };
+  const auto scalar = [](auto v) { return std::to_string(v); };
+  const auto pair = [](const auto& pr) {
+    return std::to_string(pr.first) + ':' + std::to_string(pr.second);
+  };
+  cmp_list("faults_per_sm", golden.faults_per_sm, got.faults_per_sm,
+           scalar);
+  cmp_list("vablock_faults", golden.vablock_faults, got.vablock_faults,
+           pair);
+  cmp_list("vablock_service_ns", golden.vablock_service_ns,
+           got.vablock_service_ns, pair);
+  cmp_list("first_touch_blocks", golden.first_touch_blocks,
+           got.first_touch_blocks, scalar);
+  cmp_list("evicted_blocks", golden.evicted_blocks, got.evicted_blocks,
+           scalar);
+  return diffs;
+}
+
+TEST(GoldenTrace, VecaddPagedMatchesFixture) {
+  std::ifstream in(kFixture);
+  ASSERT_TRUE(in) << "missing golden fixture " << kFixture
+                  << "\nregenerate with: " << kRegenerate;
+  const auto parsed = read_batch_log(in);
+  ASSERT_EQ(parsed.skipped_lines, 0u)
+      << "corrupt fixture; regenerate with: " << kRegenerate;
+  ASSERT_FALSE(parsed.log.empty());
+
+  const auto result = golden_run();
+  ASSERT_EQ(result.log.size(), parsed.log.size())
+      << "batch count changed; if intended, regenerate with: "
+      << kRegenerate;
+
+  std::size_t mismatched_batches = 0;
+  for (std::size_t i = 0; i < parsed.log.size(); ++i) {
+    const auto diffs = diff_records(parsed.log[i], result.log[i]);
+    if (diffs.empty()) continue;
+    ++mismatched_batches;
+    std::ostringstream report;
+    report << "batch " << i << " diverges from the golden trace:";
+    for (const auto& d : diffs) report << "\n  " << d;
+    ADD_FAILURE() << report.str();
+  }
+  EXPECT_EQ(mismatched_batches, 0u)
+      << "behaviour changed; if intended, regenerate with: " << kRegenerate;
+}
+
+TEST(GoldenTrace, FixtureRoundTripsThroughLogIo) {
+  // The fixture exercises the serializer too: parse -> serialize must
+  // reproduce the file byte for byte (modulo trailing whitespace).
+  std::ifstream in(kFixture);
+  ASSERT_TRUE(in) << "missing golden fixture " << kFixture;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    BatchRecord record;
+    ASSERT_TRUE(parse_batch(line, record));
+    EXPECT_EQ(serialize_batch(record), line);
+  }
+}
+
+}  // namespace
+}  // namespace uvmsim

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 namespace uvmsim {
 namespace {
 
-SystemConfig small_config() { return presets::scaled_titan_v(256); }
+using testutil::small_config;
 
 TEST(MultiClient, RequiresOneSpecPerClient) {
   MultiClientSystem multi(small_config(), 2);

@@ -5,14 +5,12 @@
 #include <gtest/gtest.h>
 
 #include "core/explicit_baseline.hpp"
+#include "test_util.hpp"
 
 namespace uvmsim {
 namespace {
 
-SystemConfig small_config(std::uint64_t gpu_mb = 256) {
-  SystemConfig cfg = presets::scaled_titan_v(gpu_mb);
-  return cfg;
-}
+using testutil::small_config;
 
 TEST(System, VecaddFirstBatchMatchesUtlbCap) {
   SystemConfig cfg = small_config();

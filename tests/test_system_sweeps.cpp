@@ -3,10 +3,14 @@
 // These are the regression net for the whole stack.
 #include <gtest/gtest.h>
 
+#include "core/parallel_runner.hpp"
 #include "core/system.hpp"
+#include "test_util.hpp"
 
 namespace uvmsim {
 namespace {
+
+using testutil::small_config;
 
 struct SweepCase {
   std::string label;
@@ -19,7 +23,7 @@ class SystemSweepTest : public ::testing::TestWithParam<
 
 TEST_P(SystemSweepTest, CompletesWithInvariants) {
   const auto& [c, prefetch, async_ops] = GetParam();
-  SystemConfig cfg = presets::scaled_titan_v(c.gpu_mb);
+  SystemConfig cfg = small_config(c.gpu_mb);
   cfg.driver.prefetch_enabled = prefetch;
   cfg.driver.big_page_promotion = prefetch;
   cfg.driver.async_host_ops = async_ops;
@@ -89,12 +93,46 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<2>(info.param) ? "_async" : "_sync");
     });
 
+TEST(ParallelRunner, MatchesSerialRunsWithDeterministicOrdering) {
+  // The host-side thread pool runs every sweep case concurrently; each
+  // System is deterministic and thread-confined, so the results must be
+  // identical to serial execution, in job order.
+  std::vector<RunJob> jobs;
+  for (const auto& c : sweep_cases()) {
+    jobs.push_back({small_config(c.gpu_mb), c.build()});
+  }
+  ASSERT_GE(jobs.size(), 4u);
+  const auto parallel = run_parallel(jobs, 4);  // >= 4 concurrent systems
+
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    System system(jobs[i].config);
+    const auto serial = system.run(jobs[i].spec);
+    EXPECT_EQ(parallel[i].kernel_time_ns, serial.kernel_time_ns) << i;
+    EXPECT_EQ(parallel[i].batch_time_ns, serial.batch_time_ns) << i;
+    EXPECT_EQ(parallel[i].total_faults, serial.total_faults) << i;
+    EXPECT_EQ(parallel[i].log.size(), serial.log.size()) << i;
+  }
+}
+
+TEST(ParallelRunner, PropagatesFirstExceptionByJobOrder) {
+  // Job 1 oversubscribes with eviction disabled -> throws inside a worker
+  // thread; the runner rethrows after draining all jobs.
+  std::vector<RunJob> jobs;
+  jobs.push_back({small_config(), make_stream_triad(1 << 12)});
+  SystemConfig broken = small_config(16);
+  broken.driver.eviction_enabled = false;
+  jobs.push_back({broken, make_stream_triad(2 << 20)});
+  jobs.push_back({small_config(), make_stream_triad(1 << 12)});
+  EXPECT_THROW(run_parallel(jobs, 3), std::runtime_error);
+}
+
 class OversubRatioTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(OversubRatioTest, EvictionScalesWithPressure) {
   // Working set 48 MB of stream arrays against a shrinking GPU.
   const std::uint64_t gpu_mb = GetParam();
-  SystemConfig cfg = presets::scaled_titan_v(gpu_mb);
+  SystemConfig cfg = small_config(gpu_mb);
   System system(cfg);
   const auto result = system.run(make_stream_triad(2 << 20, 2));
   if (gpu_mb >= 64) {

@@ -1,0 +1,14 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include "core/system.hpp"
+
+namespace uvmsim::testutil {
+
+/// The standard small testbed: Titan V fault-path constraints with GPU
+/// memory scaled down so end-to-end runs finish in milliseconds.
+inline SystemConfig small_config(std::uint64_t gpu_mb = 256) {
+  return presets::scaled_titan_v(gpu_mb);
+}
+
+}  // namespace uvmsim::testutil

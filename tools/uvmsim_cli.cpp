@@ -108,6 +108,8 @@ int cmd_list() {
   std::printf("config flags: --gpu-mb N --batch-size N --no-prefetch "
               "--no-promotion --no-flush --fifo-evict --adaptive-batch "
               "--async-host-ops --pin-host --log FILE\n");
+  std::printf("driver parallelism (paper §6): --service-policy "
+              "serial|vablock|sm --service-workers K\n");
   return 0;
 }
 
@@ -126,6 +128,18 @@ int cmd_run(const Args& args) {
   if (args.flag("fifo-evict")) cfg.driver.evict_policy = EvictPolicy::kFifo;
   if (args.flag("adaptive-batch")) cfg.driver.adaptive_batch_size = true;
   if (args.flag("async-host-ops")) cfg.driver.async_host_ops = true;
+  if (const std::string policy = args.get("service-policy", "serial");
+      policy == "vablock") {
+    cfg.driver.parallelism.policy = ServicingPolicy::kPerVaBlock;
+  } else if (policy == "sm") {
+    cfg.driver.parallelism.policy = ServicingPolicy::kPerSm;
+  } else if (policy != "serial") {
+    std::fprintf(stderr, "unknown --service-policy '%s' "
+                 "(serial|vablock|sm)\n", policy.c_str());
+    return 2;
+  }
+  cfg.driver.parallelism.workers =
+      static_cast<std::uint32_t>(args.get_u64("service-workers", 1));
   cfg.seed = args.get_u64("seed", cfg.seed);
   if (args.flag("pin-host")) {
     for (auto& alloc : spec->allocs) {
@@ -206,6 +220,10 @@ int cmd_analyze(const std::string& path) {
     table.add_row({"VABlock-parallel speedup (" + std::to_string(workers) +
                        " workers)",
                    fmt(est.speedup, 2) + "x"});
+    const auto sm = estimate_per_sm_parallel(log, workers);
+    table.add_row({"per-SM-parallel speedup (" + std::to_string(workers) +
+                       " workers)",
+                   fmt(sm.speedup, 2) + "x"});
   }
   std::printf("%s", table.render().c_str());
   return 0;
