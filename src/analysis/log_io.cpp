@@ -16,6 +16,14 @@ void append_u64(std::string& out, std::string_view key, std::uint64_t value) {
   out += std::to_string(value);
 }
 
+// Robustness fields postdate the golden fixtures and are only nonzero when
+// injection/mitigation is on; omitting the zero case keeps old logs
+// byte-identical through a round trip.
+void append_u64_nonzero(std::string& out, std::string_view key,
+                        std::uint64_t value) {
+  if (value != 0) append_u64(out, key, value);
+}
+
 template <typename T>
 void append_list(std::string& out, std::string_view key,
                  const std::vector<T>& values, const auto& format) {
@@ -69,6 +77,8 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64(out, "transfer", p.transfer_ns);
   append_u64(out, "pagetable", p.pagetable_ns);
   append_u64(out, "replay", p.replay_ns);
+  append_u64_nonzero(out, "backoff", p.backoff_ns);
+  append_u64_nonzero(out, "throttle", p.throttle_ns);
 
   const auto& c = record.counters;
   append_u64(out, "raw", c.raw_faults);
@@ -91,6 +101,14 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64(out, "dmapages", c.dma_pages_mapped);
   append_u64(out, "radixnodes", c.radix_nodes_allocated);
   append_u64(out, "radixgrew", c.radix_grew ? 1 : 0);
+  append_u64_nonzero(out, "xfererr", c.transfer_errors);
+  append_u64_nonzero(out, "xferretry", c.transfer_retries);
+  append_u64_nonzero(out, "dmaerr", c.dma_map_errors);
+  append_u64_nonzero(out, "dmaretry", c.dma_map_retries);
+  append_u64_nonzero(out, "aborts", c.service_aborts);
+  append_u64_nonzero(out, "pins", c.thrash_pins);
+  append_u64_nonzero(out, "throttles", c.thrash_throttles);
+  append_u64_nonzero(out, "bufdrop", c.buffer_dropped);
 
   append_list(out, "sm", record.faults_per_sm,
               [](std::uint16_t v) { return std::to_string(v); });
@@ -181,6 +199,8 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "transfer") p.transfer_ns = u;
       else if (key == "pagetable") p.pagetable_ns = u;
       else if (key == "replay") p.replay_ns = u;
+      else if (key == "backoff") p.backoff_ns = u;
+      else if (key == "throttle") p.throttle_ns = u;
       else if (key == "raw") c.raw_faults = static_cast<std::uint32_t>(u);
       else if (key == "uniq") c.unique_faults = static_cast<std::uint32_t>(u);
       else if (key == "dup1") c.dup_same_utlb = static_cast<std::uint32_t>(u);
@@ -201,6 +221,14 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "dmapages") c.dma_pages_mapped = static_cast<std::uint32_t>(u);
       else if (key == "radixnodes") c.radix_nodes_allocated = static_cast<std::uint32_t>(u);
       else if (key == "radixgrew") c.radix_grew = u != 0;
+      else if (key == "xfererr") c.transfer_errors = static_cast<std::uint32_t>(u);
+      else if (key == "xferretry") c.transfer_retries = static_cast<std::uint32_t>(u);
+      else if (key == "dmaerr") c.dma_map_errors = static_cast<std::uint32_t>(u);
+      else if (key == "dmaretry") c.dma_map_retries = static_cast<std::uint32_t>(u);
+      else if (key == "aborts") c.service_aborts = static_cast<std::uint32_t>(u);
+      else if (key == "pins") c.thrash_pins = static_cast<std::uint32_t>(u);
+      else if (key == "throttles") c.thrash_throttles = static_cast<std::uint32_t>(u);
+      else if (key == "bufdrop") c.buffer_dropped = static_cast<std::uint32_t>(u);
       // Unknown numeric keys are tolerated for forward compatibility.
     } else {
       return false;

@@ -74,6 +74,8 @@ BatchPhaseTimes phase_totals(const BatchLog& log) {
     total.transfer_ns += rec.phases.transfer_ns;
     total.pagetable_ns += rec.phases.pagetable_ns;
     total.replay_ns += rec.phases.replay_ns;
+    total.backoff_ns += rec.phases.backoff_ns;
+    total.throttle_ns += rec.phases.throttle_ns;
   }
   return total;
 }
@@ -85,6 +87,23 @@ FaultTotals fault_totals(const BatchLog& log) {
     totals.unique += rec.counters.unique_faults;
     totals.dup_same_utlb += rec.counters.dup_same_utlb;
     totals.dup_cross_utlb += rec.counters.dup_cross_utlb;
+  }
+  return totals;
+}
+
+RobustnessTotals robustness_totals(const BatchLog& log) {
+  RobustnessTotals totals;
+  for (const auto& rec : log) {
+    totals.transfer_errors += rec.counters.transfer_errors;
+    totals.transfer_retries += rec.counters.transfer_retries;
+    totals.dma_map_errors += rec.counters.dma_map_errors;
+    totals.dma_map_retries += rec.counters.dma_map_retries;
+    totals.service_aborts += rec.counters.service_aborts;
+    totals.thrash_pins += rec.counters.thrash_pins;
+    totals.thrash_throttles += rec.counters.thrash_throttles;
+    totals.buffer_dropped += rec.counters.buffer_dropped;
+    totals.backoff_ns += rec.phases.backoff_ns;
+    totals.throttle_ns += rec.phases.throttle_ns;
   }
   return totals;
 }

@@ -47,4 +47,27 @@ struct FaultTotals {
 };
 FaultTotals fault_totals(const BatchLog& log);
 
+/// Robustness-path totals: retry/abort/mitigation activity plus fault-
+/// buffer loss. All-zero for a run with injection and thrashing
+/// mitigation off.
+struct RobustnessTotals {
+  std::uint64_t transfer_errors = 0;
+  std::uint64_t transfer_retries = 0;
+  std::uint64_t dma_map_errors = 0;
+  std::uint64_t dma_map_retries = 0;
+  std::uint64_t service_aborts = 0;
+  std::uint64_t thrash_pins = 0;
+  std::uint64_t thrash_throttles = 0;
+  std::uint64_t buffer_dropped = 0;
+  SimTime backoff_ns = 0;
+  SimTime throttle_ns = 0;
+
+  bool any() const noexcept {
+    return transfer_errors || transfer_retries || dma_map_errors ||
+           dma_map_retries || service_aborts || thrash_pins ||
+           thrash_throttles || buffer_dropped || backoff_ns || throttle_ns;
+  }
+};
+RobustnessTotals robustness_totals(const BatchLog& log);
+
 }  // namespace uvmsim

@@ -1,0 +1,56 @@
+#include "common/fault_inject.hpp"
+
+namespace uvmsim {
+namespace {
+
+/// Fork one per-site stream: SplitMix64 over (seed, site) gives streams
+/// that are independent of each other and of site evaluation order.
+Xoshiro256 site_stream(std::uint64_t seed, std::uint64_t site) {
+  SplitMix64 mix(seed ^ (site * 0x9E3779B97F4A7C15ULL));
+  return Xoshiro256(mix.next());
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultInjectConfig& config)
+    : config_(config),
+      transfer_rng_(site_stream(config.seed, 1)),
+      dma_rng_(site_stream(config.seed, 2)),
+      irq_rng_(site_stream(config.seed, 3)),
+      storm_rng_(site_stream(config.seed, 4)) {}
+
+bool FaultInjector::transfer_error() {
+  if (!config_.enabled || config_.transfer_error_prob <= 0.0) return false;
+  if (!transfer_rng_.bernoulli(config_.transfer_error_prob)) return false;
+  ++transfer_errors_;
+  return true;
+}
+
+bool FaultInjector::dma_map_error() {
+  if (!config_.enabled || config_.dma_map_error_prob <= 0.0) return false;
+  if (!dma_rng_.bernoulli(config_.dma_map_error_prob)) return false;
+  ++dma_errors_;
+  return true;
+}
+
+SimTime FaultInjector::interrupt_delay() {
+  if (!config_.enabled || config_.interrupt_delay_prob <= 0.0) return 0;
+  if (!irq_rng_.bernoulli(config_.interrupt_delay_prob)) return 0;
+  ++irq_delays_;
+  return config_.interrupt_delay_ns;
+}
+
+bool FaultInjector::interrupt_loss() {
+  if (!config_.enabled || config_.interrupt_loss_prob <= 0.0) return false;
+  if (!irq_rng_.bernoulli(config_.interrupt_loss_prob)) return false;
+  ++irq_losses_;
+  return true;
+}
+
+std::uint32_t FaultInjector::storm_faults() {
+  if (!config_.enabled || config_.storm_prob <= 0.0) return 0;
+  if (!storm_rng_.bernoulli(config_.storm_prob)) return 0;
+  return config_.storm_faults;
+}
+
+}  // namespace uvmsim

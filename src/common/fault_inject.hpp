@@ -1,0 +1,122 @@
+// Deterministic cross-layer fault injection.
+//
+// The paper's edge regimes — fault-buffer overflow storms (§4.2), replay
+// churn, and oversubscription thrashing (Figs 12–15) — only appear when
+// something goes wrong. The injector makes "wrong" reproducible: every
+// layer of the simulator consults it at a well-defined hook point, and all
+// decisions are drawn from per-site xoshiro256** streams forked from one
+// seed, so an injection schedule is a pure function of (config, seed) and
+// two identical-seed runs produce bit-identical traces.
+//
+// Hook sites:
+//   * GPU engine        — spurious fault storms that overflow the HW buffer;
+//   * System loop       — delayed and lost fault-buffer interrupts;
+//   * fault servicer    — transient copy-engine (PCIe) transfer errors;
+//   * fault servicer    — transient DMA-map failures (hostos/dma path).
+//
+// When `enabled` is false every probe is a constant-false branch: no RNG
+// draws, no counters, no timing changes — injection off is a zero-cost
+// abstraction and leaves golden traces bit-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+struct FaultInjectConfig {
+  bool enabled = false;             // master switch; off = zero-cost
+  std::uint64_t seed = 0x1F1A57;    // injection schedule seed (independent
+                                    // of the workload/jitter seed)
+
+  // Transient PCIe/copy-engine transfer errors (per copy operation).
+  double transfer_error_prob = 0.0;
+
+  // Transient DMA-map failures (per first-touch map_range call).
+  double dma_map_error_prob = 0.0;
+
+  // Delayed fault-buffer interrupts (per driver wakeup).
+  double interrupt_delay_prob = 0.0;
+  SimTime interrupt_delay_ns = 50'000;
+
+  // Lost interrupts: the wakeup never arrives and the driver only notices
+  // via its watchdog after `interrupt_recovery_ns`.
+  double interrupt_loss_prob = 0.0;
+  SimTime interrupt_recovery_ns = 200'000;
+
+  // Fault-buffer overflow storms: per generation window, with probability
+  // `storm_prob`, the GPU re-emits up to `storm_faults` spurious duplicate
+  // records for outstanding µTLB entries in one burst — enough to overflow
+  // the HW buffer and exercise the drop->replay->reissue path.
+  double storm_prob = 0.0;
+  std::uint32_t storm_faults = 4096;
+
+  /// True when the injector can actually fire something.
+  bool active() const noexcept {
+    return enabled &&
+           (transfer_error_prob > 0.0 || dma_map_error_prob > 0.0 ||
+            interrupt_delay_prob > 0.0 || interrupt_loss_prob > 0.0 ||
+            storm_prob > 0.0);
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectConfig& config);
+
+  const FaultInjectConfig& config() const noexcept { return config_; }
+  bool active() const noexcept { return config_.active(); }
+
+  // ---- Probes (one per hook site; each owns an independent stream) ------
+  /// Should this copy-engine operation fail transiently?
+  bool transfer_error();
+
+  /// Should this DMA map_range call fail transiently?
+  bool dma_map_error();
+
+  /// Extra latency to add to this driver wakeup (0 = on time).
+  SimTime interrupt_delay();
+
+  /// Is this interrupt lost entirely (watchdog recovery required)?
+  bool interrupt_loss();
+
+  /// Number of spurious storm records the GPU should emit this generation
+  /// window (0 = no storm). The engine reports what it actually emitted
+  /// (it may run out of outstanding entries) via note_storm_emitted().
+  std::uint32_t storm_faults();
+  void note_storm_emitted(std::uint32_t n) noexcept {
+    storm_faults_injected_ += n;
+  }
+
+  // ---- Accounting (what the schedule actually fired) --------------------
+  std::uint64_t transfer_errors_injected() const noexcept {
+    return transfer_errors_;
+  }
+  std::uint64_t dma_map_errors_injected() const noexcept {
+    return dma_errors_;
+  }
+  std::uint64_t interrupts_delayed() const noexcept { return irq_delays_; }
+  std::uint64_t interrupts_lost() const noexcept { return irq_losses_; }
+  std::uint64_t storm_faults_injected() const noexcept {
+    return storm_faults_injected_;
+  }
+
+ private:
+  FaultInjectConfig config_;
+  // Per-site streams: enabling one injection class never shifts the draw
+  // sequence of another, so schedules compose predictably.
+  Xoshiro256 transfer_rng_;
+  Xoshiro256 dma_rng_;
+  Xoshiro256 irq_rng_;
+  Xoshiro256 storm_rng_;
+
+  std::uint64_t transfer_errors_ = 0;
+  std::uint64_t dma_errors_ = 0;
+  std::uint64_t irq_delays_ = 0;
+  std::uint64_t irq_losses_ = 0;
+  std::uint64_t storm_faults_injected_ = 0;
+};
+
+}  // namespace uvmsim

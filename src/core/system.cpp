@@ -6,9 +6,12 @@ namespace uvmsim {
 
 System::System(SystemConfig config)
     : config_(config),
+      injector_(config.driver.inject),
       driver_(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
-              config.pcie),
-      gpu_(config.gpu, config.seed) {}
+              config.pcie, &injector_),
+      gpu_(config.gpu, config.seed) {
+  gpu_.set_fault_injector(&injector_);
+}
 
 RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   // Managed allocations (host init included) before launch. Builders
@@ -41,6 +44,14 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   const std::uint64_t h2d_before = driver_.copy_engine().bytes_to_device();
   const std::uint64_t d2h_before = driver_.copy_engine().bytes_to_host();
   const std::size_t log_before = driver_.log().size();
+  const std::uint64_t dropped_before = gpu_.fault_buffer().total_dropped_full();
+  const std::uint64_t flushed_before = gpu_.fault_buffer().total_flushed();
+  const std::uint64_t irq_delays_before = injector_.interrupts_delayed();
+  const std::uint64_t irq_losses_before = injector_.interrupts_lost();
+  const std::uint64_t inj_xfer_before = injector_.transfer_errors_injected();
+  const std::uint64_t inj_dma_before = injector_.dma_map_errors_injected();
+  const std::uint64_t inj_storm_before = injector_.storm_faults_injected();
+  std::uint64_t dropped_seen = dropped_before;
 
   gpu_.launch(spec.kernel, base_page);
   auto gen = gpu_.generate(now_, driver_);
@@ -74,11 +85,20 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     }
 
     // The interrupt for the earliest pending fault wakes the driver
-    // worker; it can only read records the GMMU has written by then.
+    // worker; it can only read records the GMMU has written by then. An
+    // injected lost interrupt means the wakeup only happens through the
+    // driver's watchdog; a delayed one adds its scheduling latency. Both
+    // probes are constant-zero when injection is off.
     const SimTime first = *gpu_.fault_buffer().next_arrival();
+    SimTime irq_extra = 0;
+    if (injector_.interrupt_loss()) {
+      irq_extra = injector_.config().interrupt_recovery_ns;
+    } else {
+      irq_extra = injector_.interrupt_delay();
+    }
     now_ = std::max(now_, first) +
            driver_.pcie().config().interrupt_latency_ns +
-           driver_.config().wakeup_ns;
+           driver_.config().wakeup_ns + irq_extra;
 
     // Worker services batches until no arrived faults remain, then sleeps
     // (faults still in flight re-raise the interrupt — outer loop).
@@ -86,7 +106,11 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
       auto raw = gpu_.fault_buffer().drain_arrived(
           driver_.effective_batch_size(), now_);
       if (raw.empty()) break;
-      const BatchRecord& record = driver_.handle_batch(raw, now_);
+      const std::uint64_t dropped_now =
+          gpu_.fault_buffer().total_dropped_full();
+      const BatchRecord& record = driver_.handle_batch(
+          raw, now_, static_cast<std::uint32_t>(dropped_now - dropped_seen));
+      dropped_seen = dropped_now;
       now_ = record.end_ns;
 
       if (driver_.config().flush_on_replay) {
@@ -115,6 +139,25 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   result.evictions = driver_.total_evictions() - evictions_before;
   result.bytes_h2d = driver_.copy_engine().bytes_to_device() - h2d_before;
   result.bytes_d2h = driver_.copy_engine().bytes_to_host() - d2h_before;
+  result.faults_dropped_full =
+      gpu_.fault_buffer().total_dropped_full() - dropped_before;
+  result.faults_flushed = gpu_.fault_buffer().total_flushed() - flushed_before;
+  result.interrupts_delayed =
+      injector_.interrupts_delayed() - irq_delays_before;
+  result.interrupts_lost = injector_.interrupts_lost() - irq_losses_before;
+  result.injected_transfer_errors =
+      injector_.transfer_errors_injected() - inj_xfer_before;
+  result.injected_dma_errors =
+      injector_.dma_map_errors_injected() - inj_dma_before;
+  result.injected_storm_faults =
+      injector_.storm_faults_injected() - inj_storm_before;
+  for (const auto& rec : result.log) {
+    result.transfer_retries += rec.counters.transfer_retries;
+    result.dma_map_retries += rec.counters.dma_map_retries;
+    result.service_aborts += rec.counters.service_aborts;
+    result.thrash_pins += rec.counters.thrash_pins;
+    result.thrash_throttles += rec.counters.thrash_throttles;
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/fault_inject.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "interconnect/pcie.hpp"
@@ -44,6 +45,21 @@ struct RunResult {
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;
   std::uint64_t forced_throttle_refills = 0;  // wedge-recovery events
+
+  // Robustness observability (all zero unless fault injection and/or
+  // thrashing mitigation are enabled).
+  std::uint64_t faults_dropped_full = 0;   // HW buffer overflow drops
+  std::uint64_t faults_flushed = 0;        // pre-replay flush discards
+  std::uint64_t interrupts_delayed = 0;    // injected wakeup delays
+  std::uint64_t interrupts_lost = 0;       // injected lost interrupts
+  std::uint64_t injected_transfer_errors = 0;
+  std::uint64_t injected_dma_errors = 0;
+  std::uint64_t injected_storm_faults = 0;
+  std::uint64_t transfer_retries = 0;      // driver backoff retries (copy)
+  std::uint64_t dma_map_retries = 0;       // driver backoff retries (DMA)
+  std::uint64_t service_aborts = 0;        // retry budgets exhausted
+  std::uint64_t thrash_pins = 0;           // pin+remote-map mitigations
+  std::uint64_t thrash_throttles = 0;      // throttle-window mitigations
 };
 
 struct RunOptions {
@@ -66,8 +82,11 @@ class System {
   GpuEngine& gpu() noexcept { return gpu_; }
   const SystemConfig& config() const noexcept { return config_; }
 
+  const FaultInjector& injector() const noexcept { return injector_; }
+
  private:
   SystemConfig config_;
+  FaultInjector injector_;  // must outlive driver_ and gpu_ (they hold refs)
   UvmDriver driver_;
   GpuEngine gpu_;
   SimTime now_ = 0;  // advances monotonically across run() calls

@@ -259,6 +259,11 @@ GpuEngine::GenerateResult GpuEngine::generate(SimTime now,
     }
   }
 
+  // Storms re-walk entries this window just made outstanding, so the burst
+  // lands after the warp advance (a replay clears the µTLBs, so at window
+  // start there is nothing to re-report).
+  emit_injected_storm(now, result);
+
   // The hardware buffer is written in arrival order; emission order above
   // interleaves SM streams, so restore timestamp order for the reader.
   buffer_.sort_pending();
@@ -279,6 +284,31 @@ void GpuEngine::emit_spurious_refaults(SimTime now, GenerateResult& result) {
                  /*phase=*/0, /*duplicate=*/true, result);
     }
   }
+}
+
+void GpuEngine::emit_injected_storm(SimTime now, GenerateResult& result) {
+  if (!injector_) return;
+  const std::uint32_t budget = injector_->storm_faults();
+  if (budget == 0) return;
+  // Burst of spurious re-fault records for outstanding µTLB entries — the
+  // GMMU re-walking entries it already reported. Sweep the µTLBs repeatedly
+  // until the burst budget is spent so a small outstanding set can still
+  // overflow the HW buffer.
+  std::uint32_t emitted = 0;
+  bool any = true;
+  while (emitted < budget && any) {
+    any = false;
+    for (std::uint32_t t = 0; t < utlbs_.size() && emitted < budget; ++t) {
+      for (const PageId page : utlbs_[t].outstanding()) {
+        const std::uint32_t sm = t * config_.sms_per_utlb;
+        emit_fault(page, AccessType::kRead, sm, /*block=*/0, now,
+                   /*phase=*/0, /*duplicate=*/true, result);
+        any = true;
+        if (++emitted >= budget) break;
+      }
+    }
+  }
+  injector_->note_storm_emitted(emitted);
 }
 
 void GpuEngine::on_replay() {

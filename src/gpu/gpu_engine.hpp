@@ -22,6 +22,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "gpu/fault_buffer.hpp"
@@ -75,6 +76,12 @@ class GpuEngine {
   /// Let every runnable warp issue accesses until all are stalled on
   /// faults or retired. Fault records are timestamped starting at `now`.
   GenerateResult generate(SimTime now, const ResidencyOracle& residency);
+
+  /// Attach the fault-injection schedule (storms). May be null; the engine
+  /// does not own it.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
 
   /// Driver-issued fault replay: clear µTLB waiting state, refill SM
   /// throttle tokens, return waiting accesses to pending.
@@ -134,9 +141,11 @@ class GpuEngine {
                   bool duplicate, GenerateResult& result);
   SimTime block_phase(BlockRt& block);
   void emit_spurious_refaults(SimTime now, GenerateResult& result);
+  void emit_injected_storm(SimTime now, GenerateResult& result);
 
   GpuConfig config_;
   Xoshiro256 rng_;
+  FaultInjector* injector_ = nullptr;  // not owned; null = no injection
   FaultBuffer buffer_;
   std::vector<UTlb> utlbs_;
   std::vector<std::uint32_t> sm_tokens_;

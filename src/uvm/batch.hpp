@@ -26,11 +26,13 @@ struct BatchPhaseTimes {
   SimTime transfer_ns = 0;     // copy-engine data movement
   SimTime pagetable_ns = 0;    // GPU page-table updates
   SimTime replay_ns = 0;       // fault replay issue
+  SimTime backoff_ns = 0;      // retry backoff waits after transient errors
+  SimTime throttle_ns = 0;     // thrashing-mitigation service delays
 
   SimTime sum() const noexcept {
     return fetch_ns + dedup_ns + vablock_ns + eviction_ns + unmap_ns +
            populate_ns + dma_map_ns + prefetch_ns + transfer_ns +
-           pagetable_ns + replay_ns;
+           pagetable_ns + replay_ns + backoff_ns + throttle_ns;
   }
 };
 
@@ -58,6 +60,18 @@ struct BatchCounters {
   std::uint32_t dma_pages_mapped = 0;
   std::uint32_t radix_nodes_allocated = 0;
   bool radix_grew = false;
+
+  // ---- Robustness layer (all zero with injection/detection off) --------
+  std::uint32_t transfer_errors = 0;   // injected transient copy failures
+  std::uint32_t transfer_retries = 0;  // re-attempts after those failures
+  std::uint32_t dma_map_errors = 0;    // injected transient DMA-map failures
+  std::uint32_t dma_map_retries = 0;
+  std::uint32_t service_aborts = 0;    // VABlocks abandoned after retry
+                                       // exhaustion (re-serviced via replay)
+  std::uint32_t thrash_pins = 0;       // blocks pinned + remote-mapped
+  std::uint32_t thrash_throttles = 0;  // blocks throttled/shielded
+  std::uint32_t buffer_dropped = 0;    // HW fault-buffer overflow drops
+                                       // observed since the previous batch
 };
 
 struct BatchRecord {

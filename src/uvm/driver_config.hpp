@@ -10,9 +10,11 @@
 
 #include <cstdint>
 
+#include "common/fault_inject.hpp"
 #include "common/types.hpp"
 #include "hostos/dma.hpp"
 #include "hostos/unmap.hpp"
+#include "uvm/thrashing.hpp"
 
 namespace uvmsim {
 
@@ -39,6 +41,27 @@ struct DriverParallelismConfig {
 
   bool active() const noexcept {
     return policy != ServicingPolicy::kSerial && workers > 1;
+  }
+};
+
+/// Bounded retry with exponential backoff for transient failures on the
+/// fault path (copy-engine transfers, DMA maps). Attempt k (0-based
+/// failure count) waits min(cap, base * mult^k) before retrying; after
+/// `max_attempts` total tries the operation is abandoned for this batch
+/// and the affected faults are left for the replay/reissue path to
+/// re-surface (no work is lost, it is just re-serviced later).
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  SimTime backoff_base_ns = 2'000;
+  std::uint32_t backoff_mult = 2;
+  SimTime backoff_cap_ns = 64'000;
+
+  SimTime backoff_ns(std::uint32_t failures) const noexcept {
+    SimTime wait = backoff_base_ns;
+    for (std::uint32_t i = 0; i < failures && wait < backoff_cap_ns; ++i) {
+      wait *= backoff_mult;
+    }
+    return wait < backoff_cap_ns ? wait : backoff_cap_ns;
   }
 };
 
@@ -87,6 +110,16 @@ struct DriverConfig {
   // ---- Eviction costs --------------------------------------------------
   SimTime evict_fail_alloc_ns = 10000;  // detect full memory, pick victim
   SimTime evict_restart_ns = 15000;     // restart the block migration
+
+  // ---- Robustness layer (all off by default = happy-path model) --------
+  // Cross-layer fault injection schedule (common/fault_inject.hpp). The
+  // System forks one FaultInjector from this per run-stream.
+  FaultInjectConfig inject{};
+  // Transient-error recovery for migrations and DMA maps.
+  RetryPolicy retry{};
+  // Oversubscription thrashing detection + graceful degradation
+  // (uvm/thrashing.hpp; nvidia-uvm perf_thrashing equivalent).
+  ThrashingConfig thrash{};
 
   // ---- Host OS components ---------------------------------------------
   UnmapCostModel unmap{};

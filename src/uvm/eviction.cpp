@@ -27,4 +27,15 @@ std::optional<VaBlockId> Evictor::pick_victim(VaBlockId protect) {
   return std::nullopt;
 }
 
+std::optional<VaBlockId> Evictor::pick_victim(
+    VaBlockId protect, const std::function<bool(VaBlockId)>& evictable) {
+  std::optional<VaBlockId> fallback;
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (*it == protect) continue;
+    if (evictable(*it)) return *it;
+    if (!fallback) fallback = *it;  // oldest shielded block, if forced
+  }
+  return fallback;
+}
+
 }  // namespace uvmsim

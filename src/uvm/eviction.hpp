@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -32,6 +33,12 @@ class Evictor {
 
   /// Choose a victim, skipping `protect` (the block being serviced).
   std::optional<VaBlockId> pick_victim(VaBlockId protect);
+
+  /// Same, but also skipping blocks the predicate rejects (thrashing
+  /// shields). Falls back to the shielded candidates when nothing else is
+  /// evictable — memory pressure always wins over a shield.
+  std::optional<VaBlockId> pick_victim(
+      VaBlockId protect, const std::function<bool(VaBlockId)>& evictable);
 
   bool tracks(VaBlockId block) const { return index_.contains(block); }
   std::size_t tracked() const noexcept { return order_.size(); }

@@ -12,19 +12,55 @@ namespace uvmsim {
 FaultServicer::FaultServicer(const DriverConfig& config, VaSpace& space,
                              GpuMemory& memory, DmaMapper& dma,
                              CopyEngine& copy, Evictor& evictor,
-                             std::uint32_t num_sms)
+                             std::uint32_t num_sms, FaultInjector* injector,
+                             ThrashingDetector* thrash)
     : config_(config),
       space_(space),
       memory_(memory),
       dma_(dma),
       copy_(copy),
       evictor_(evictor),
-      num_sms_(num_sms) {}
+      num_sms_(num_sms),
+      injector_(injector),
+      thrash_(thrash) {}
+
+bool FaultServicer::attempt_with_retries(RetrySite site, BatchRecord& record) {
+  if (!injector_ || !injector_->active()) return true;
+  auto& c = record.counters;
+  for (std::uint32_t failures = 0; failures < config_.retry.max_attempts;
+       ++failures) {
+    const bool failed = site == RetrySite::kTransfer
+                            ? injector_->transfer_error()
+                            : injector_->dma_map_error();
+    if (!failed) return true;
+    if (site == RetrySite::kTransfer) {
+      ++c.transfer_errors;
+    } else {
+      ++c.dma_map_errors;
+    }
+    if (failures + 1 < config_.retry.max_attempts) {
+      record.phases.backoff_ns += config_.retry.backoff_ns(failures);
+      if (site == RetrySite::kTransfer) {
+        ++c.transfer_retries;
+      } else {
+        ++c.dma_map_retries;
+      }
+    }
+  }
+  return false;  // retry budget exhausted
+}
 
 void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   record.phases.eviction_ns += config_.evict_fail_alloc_ns;
 
-  const auto victim = evictor_.pick_victim(protect);
+  const bool shields = thrash_ && thrash_->enabled();
+  const SimTime now = record.start_ns + record.phases.sum();
+  const auto victim =
+      shields ? evictor_.pick_victim(protect,
+                                     [&](VaBlockId b) {
+                                       return !thrash_->is_shielded(b, now);
+                                     })
+              : evictor_.pick_victim(protect);
   if (!victim) {
     throw std::runtime_error(
         "uvmsim: GPU memory exhausted with no evictable VABlock");
@@ -34,7 +70,11 @@ void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   const std::uint32_t resident = v.gpu_resident_count();
   if (resident > 0) {
     // Writeback: the whole block's resident pages return to host frames
-    // (without CPU remapping — lazy remap on CPU access, §5.1).
+    // (without CPU remapping — lazy remap on CPU access, §5.1). A
+    // writeback may hit transient transfer errors too, but it can never
+    // be abandoned (that would lose the only valid copy): after the retry
+    // budget the final attempt is forced through.
+    attempt_with_retries(RetrySite::kTransfer, record);
     const auto xfer = copy_.copy_range(first_page_of(*victim), resident,
                                        CopyDirection::kDeviceToHost);
     record.phases.eviction_ns += xfer.time_ns;
@@ -44,6 +84,9 @@ void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   v.evict_to_host();  // also drops the block's chunk reference
   if (chunk) memory_.free_chunk(*chunk);
   evictor_.remove(*victim);
+  if (thrash_) {
+    thrash_->record_eviction(*victim, record.start_ns + record.phases.sum());
+  }
 
   record.phases.eviction_ns += config_.evict_restart_ns;
   ++record.counters.evictions;
@@ -67,6 +110,29 @@ bool FaultServicer::ensure_chunk(VaBlockId id, VaBlockState& block,
     }
     evict_one(id, record);
   }
+}
+
+void FaultServicer::pin_block(VaBlockId id, VaBlockState& block, SimTime now,
+                              BatchRecord& record) {
+  // Any pages still on the GPU move home first (chunk released so the pin
+  // relieves memory pressure immediately). Charged like an eviction
+  // writeback but not counted as one — the whole point of the pin is to
+  // stop the eviction churn.
+  if (block.has_chunk()) {
+    const std::uint32_t resident = block.gpu_resident_count();
+    if (resident > 0) {
+      const auto xfer = copy_.copy_range(first_page_of(id), resident,
+                                         CopyDirection::kDeviceToHost);
+      record.phases.eviction_ns += xfer.time_ns;
+      record.counters.bytes_d2h += xfer.bytes;
+    }
+    const auto chunk = block.chunk();
+    block.evict_to_host();
+    if (chunk) memory_.free_chunk(*chunk);
+    evictor_.remove(id);
+  }
+  thrash_->pin(id, now + config_.thrash.pin_lapse_ns);
+  ++record.counters.thrash_pins;
 }
 
 BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
@@ -134,6 +200,57 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
           block_id, static_cast<std::uint16_t>(faults.size()));
     }
 
+    // Close out this block's accounting (shared by the early-exit paths
+    // below and the normal path at the bottom of the loop).
+    const auto finish_block = [&] {
+      const SimTime block_cost = record.phases.sum() - block_cost_start;
+      if (parallel) block_costs.push_back(block_cost);
+      if (config_.record_vablock_detail) {
+        record.vablock_service_ns.emplace_back(block_id, block_cost);
+      }
+    };
+
+    // Thrashing check before any migration work: a block ping-ponging
+    // between eviction and re-fault gets degraded gracefully instead of
+    // another migration round-trip (§5.1; nvidia-uvm perf_thrashing).
+    if (thrash_ && thrash_->enabled()) {
+      const SimTime now = start + record.phases.sum();
+      if (thrash_->record_fault(block_id, now)) {
+        switch (config_.thrash.mitigation) {
+          case ThrashMitigation::kPin:
+            // Pin + remote-map: needs the block's DMA mappings in place,
+            // then GPU accesses resolve over the interconnect.
+            if (!block.dma_mapped()) {
+              if (!attempt_with_retries(RetrySite::kDmaMap, record)) {
+                ++record.counters.service_aborts;
+                finish_block();
+                continue;
+              }
+              const auto dmar =
+                  dma_.map_range(first_page_of(block_id), kPagesPerVaBlock);
+              record.phases.dma_map_ns += dmar.cost_ns;
+              record.counters.dma_pages_mapped += dmar.pages_mapped;
+              record.counters.radix_nodes_allocated +=
+                  dmar.radix_nodes_allocated;
+              record.counters.radix_grew |= dmar.radix_grew;
+              block.set_dma_mapped();
+            }
+            pin_block(block_id, block, now, record);
+            finish_block();
+            continue;  // no migration for pinned blocks
+          case ThrashMitigation::kThrottle:
+            // Widen the service window and shield the block from the
+            // evictor so the working set turns over more slowly.
+            record.phases.throttle_ns += config_.thrash.throttle_delay_ns;
+            thrash_->shield(block_id, now + config_.thrash.pin_lapse_ns);
+            ++record.counters.thrash_throttles;
+            break;  // then service normally
+          case ThrashMitigation::kNone:
+            break;  // detection only
+        }
+      }
+    }
+
     VaBlockState::PageMask faulted;
     for (const FaultRecord* f : faults) {
       faulted.set(page_index_in_block(f->page));
@@ -149,12 +266,16 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     const VaBlockState::PageMask target =
         (faulted | prefetch_mask) & ~block.gpu_resident();
 
-    // GPU backing; eviction may run inside.
-    const bool fresh_chunk = ensure_chunk(block_id, block, record);
-
     // First GPU touch: compulsory DMA mapping of every page in the block
-    // plus reverse-map radix inserts (§5.2, Fig 14).
+    // plus reverse-map radix inserts (§5.2, Fig 14). A transiently failing
+    // map is retried with backoff; on exhaustion the block's service is
+    // abandoned for this batch (its faults reissue after the replay).
     if (!block.dma_mapped()) {
+      if (!attempt_with_retries(RetrySite::kDmaMap, record)) {
+        ++record.counters.service_aborts;
+        finish_block();
+        continue;
+      }
       const auto dma = dma_.map_range(first_page_of(block_id),
                                       kPagesPerVaBlock);
       record.phases.dma_map_ns += dma.cost_ns;
@@ -163,6 +284,10 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       record.counters.radix_grew |= dma.radix_grew;
       block.set_dma_mapped();
     }
+
+    // GPU backing; eviction may run inside.
+    const bool fresh_chunk = ensure_chunk(block_id, block, record);
+
     if (!block.ever_on_gpu()) {
       ++record.counters.first_touch_vablocks;
       if (config_.record_vablock_detail) {
@@ -201,18 +326,30 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     record.phases.populate_ns += config_.per_page_populate_ns * populate;
     record.counters.pages_populated += populate;
 
+    // Copy-engine migration, retried on transient transfer errors. If the
+    // budget runs out the host-backed pages stay home (they re-fault after
+    // the replay); zero-filled pages are established regardless.
+    bool migrate_ok = true;
     if (!migrate.empty()) {
-      const auto xfer =
-          copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
-      record.phases.transfer_ns += xfer.time_ns;
-      record.counters.bytes_h2d += xfer.bytes;
-      record.counters.pages_migrated +=
-          static_cast<std::uint32_t>(migrate.size());
+      if (attempt_with_retries(RetrySite::kTransfer, record)) {
+        const auto xfer =
+            copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
+        record.phases.transfer_ns += xfer.time_ns;
+        record.counters.bytes_h2d += xfer.bytes;
+        record.counters.pages_migrated +=
+            static_cast<std::uint32_t>(migrate.size());
+      } else {
+        migrate_ok = false;
+        ++record.counters.service_aborts;
+      }
     }
 
     std::uint32_t established = 0;
     for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
       if (!target[i]) continue;
+      // A page whose migration was abandoned still has its only valid
+      // copy in the host frame — it must not be mapped GPU-resident.
+      if (!migrate_ok && block.host_data()[i]) continue;
       block.set_gpu_resident(i);
       ++established;
     }
@@ -221,11 +358,7 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
         (prefetch_mask & ~faulted).count());
 
     evictor_.touch(block_id);
-    const SimTime block_cost = record.phases.sum() - block_cost_start;
-    if (parallel) block_costs.push_back(block_cost);
-    if (config_.record_vablock_detail) {
-      record.vablock_service_ns.emplace_back(block_id, block_cost);
-    }
+    finish_block();
   }
 
   // -- Replay ---------------------------------------------------------------

@@ -2,9 +2,10 @@
 // migrations, following the path the paper instruments (Sections 4–5):
 //
 //   fetch -> dedup/classify -> group by VABlock -> per VABlock:
+//     [thrashing check: pin+remote-map or throttle instead of migrating]
+//     -> first-touch DMA mapping of the whole block (+ radix inserts)
 //     [evict victim(s) if GPU memory is full]
 //     -> unmap CPU-resident pages (unmap_mapping_range)
-//     -> first-touch DMA mapping of the whole block (+ radix inserts)
 //     -> density prefetch (VABlock-scoped)
 //     -> zero-fill population of pages with no backing data
 //     -> copy-engine migration of host-backed pages
@@ -19,11 +20,20 @@
 // with k > 1 workers, the batch's independent work units are LPT-scheduled
 // (uvm/lpt_schedule.hpp) and the serviced time becomes serial phases +
 // makespan; state updates are unchanged, only timing differs (§6).
+//
+// Robustness layer: an optional FaultInjector makes copy-engine transfers
+// and DMA maps fail transiently; failures are retried under
+// DriverConfig::retry (exponential backoff, bounded attempts). When a
+// retry budget is exhausted the block's service is abandoned for this
+// batch — its faults re-surface through the µTLB reissue path after the
+// replay, so no work is lost, only deferred. An optional ThrashingDetector
+// replaces eviction ping-pong with pin+remote-map or throttling (§5.1).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/fault_inject.hpp"
 #include "common/types.hpp"
 #include "gpu/fault.hpp"
 #include "gpu/gpu_memory.hpp"
@@ -33,6 +43,7 @@
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
 #include "uvm/prefetcher.hpp"
+#include "uvm/thrashing.hpp"
 #include "uvm/va_space.hpp"
 
 namespace uvmsim {
@@ -41,7 +52,8 @@ class FaultServicer {
  public:
   FaultServicer(const DriverConfig& config, VaSpace& space, GpuMemory& memory,
                 DmaMapper& dma, CopyEngine& copy, Evictor& evictor,
-                std::uint32_t num_sms);
+                std::uint32_t num_sms, FaultInjector* injector = nullptr,
+                ThrashingDetector* thrash = nullptr);
 
   /// Service one batch starting at simulated time `start`. Updates all
   /// residency state and returns the complete batch record (end time =
@@ -52,12 +64,27 @@ class FaultServicer {
   std::uint64_t total_evictions() const noexcept { return total_evictions_; }
 
  private:
+  /// Retryable hook sites on the fault path.
+  enum class RetrySite : std::uint8_t { kTransfer, kDmaMap };
+
+  /// Run the injector's schedule for one retryable operation: each failed
+  /// attempt charges exponential backoff into `record`; returns false when
+  /// DriverConfig::retry.max_attempts were exhausted (permanent failure
+  /// for this batch). Always true when injection is off — zero draws, zero
+  /// cost.
+  bool attempt_with_retries(RetrySite site, BatchRecord& record);
+
   /// Make sure `block` has a GPU chunk, evicting victims as needed.
   /// Returns true if the chunk was allocated by this call (fresh chunk:
   /// population applies to every target page).
   bool ensure_chunk(VaBlockId id, VaBlockState& block, BatchRecord& record);
 
   void evict_one(VaBlockId protect, BatchRecord& record);
+
+  /// kPin mitigation: write any resident pages back, release the chunk,
+  /// and mark the block host-pinned; its accesses resolve remotely.
+  void pin_block(VaBlockId id, VaBlockState& block, SimTime now,
+                 BatchRecord& record);
 
   const DriverConfig& config_;
   VaSpace& space_;
@@ -66,6 +93,8 @@ class FaultServicer {
   CopyEngine& copy_;
   Evictor& evictor_;
   std::uint32_t num_sms_;
+  FaultInjector* injector_;          // may be null (no injection)
+  ThrashingDetector* thrash_;        // may be null (no detection)
   std::uint64_t total_evictions_ = 0;
 };
 

@@ -1,0 +1,60 @@
+#include "uvm/thrashing.hpp"
+
+#include <algorithm>
+
+namespace uvmsim {
+
+void ThrashingDetector::record_eviction(VaBlockId block, SimTime now) {
+  if (!config_.enabled) return;
+  auto& state = blocks_[block];
+  state.last_eviction_ns = now;
+  state.ever_evicted = true;
+}
+
+bool ThrashingDetector::record_fault(VaBlockId block, SimTime now) {
+  if (!config_.enabled) return false;
+  auto& state = blocks_[block];
+  if (state.ever_evicted && now >= state.last_eviction_ns &&
+      now - state.last_eviction_ns <= config_.lapse_ns) {
+    // Re-faulted soon after eviction: one thrash event into the ring.
+    ++thrash_events_;
+    state.ring.push_back(now);
+    if (state.ring.size() > config_.history) {
+      state.ring.erase(state.ring.begin());
+    }
+  }
+  if (state.ring.size() < config_.threshold) return false;
+  // Thrashing when `threshold` ring entries fall inside the detection
+  // window ending at the newest event.
+  const SimTime newest = state.ring.back();
+  const SimTime cutoff =
+      newest >= config_.window_ns ? newest - config_.window_ns : 0;
+  const auto in_window = static_cast<std::uint32_t>(std::count_if(
+      state.ring.begin(), state.ring.end(),
+      [cutoff](SimTime t) { return t >= cutoff; }));
+  return in_window >= config_.threshold;
+}
+
+void ThrashingDetector::pin(VaBlockId block, SimTime until) {
+  auto& state = blocks_[block];
+  if (state.pinned_until_ns < until) state.pinned_until_ns = until;
+  ++pins_;
+}
+
+bool ThrashingDetector::is_pinned(VaBlockId block, SimTime now) const {
+  const auto it = blocks_.find(block);
+  return it != blocks_.end() && now < it->second.pinned_until_ns;
+}
+
+void ThrashingDetector::shield(VaBlockId block, SimTime until) {
+  auto& state = blocks_[block];
+  if (state.shielded_until_ns < until) state.shielded_until_ns = until;
+  ++shields_;
+}
+
+bool ThrashingDetector::is_shielded(VaBlockId block, SimTime now) const {
+  const auto it = blocks_.find(block);
+  return it != blocks_.end() && now < it->second.shielded_until_ns;
+}
+
+}  // namespace uvmsim

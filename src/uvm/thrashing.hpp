@@ -1,0 +1,105 @@
+// Per-VABlock thrashing detection and graceful degradation (§5.1, Figs
+// 12/15), modeled on nvidia-uvm's perf_thrashing heuristics.
+//
+// Under oversubscription the stock driver ping-pongs: a hot VABlock is
+// evicted to make room, immediately re-faulted, migrated back, and evicted
+// again. The detector keeps a small recency ring per VABlock of
+// "re-faulted soon after eviction" events; when enough such events land
+// inside the detection window the block is classified as thrashing and one
+// of two mitigations fires instead of another migration round-trip:
+//
+//   * kPin      — pin the block's pages to host memory and service GPU
+//                 accesses through the existing remote (DMA) mapping for
+//                 `pin_lapse_ns`; no migration, no eviction pressure
+//                 (nvidia-uvm's PIN/remote-map response);
+//   * kThrottle — keep migrating, but widen the effective service window:
+//                 delay the block's service by `throttle_delay_ns` and
+//                 shield it from eviction for `pin_lapse_ns`, so the
+//                 working set turns over more slowly (nvidia-uvm's
+//                 processor-throttling response).
+//
+// Detection state is only updated when `enabled`; the default-off config
+// makes the whole subsystem a zero-cost abstraction.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+enum class ThrashMitigation : std::uint8_t { kNone, kPin, kThrottle };
+
+struct ThrashingConfig {
+  bool enabled = false;
+
+  // A fault this soon after the block's last eviction counts as one
+  // thrash event (uvm_perf_thrashing_lapse equivalent).
+  SimTime lapse_ns = 5'000'000;
+
+  // Thrash events are kept in a ring of this many timestamps per block
+  // (uvm_perf_thrashing_nap ring, sized like nvidia-uvm's history).
+  std::uint32_t history = 8;
+
+  // The block is thrashing when at least this many ring entries fall
+  // inside `window_ns` of the newest event.
+  std::uint32_t threshold = 3;
+  SimTime window_ns = 50'000'000;
+
+  ThrashMitigation mitigation = ThrashMitigation::kPin;
+
+  // How long a pin (kPin) or eviction shield (kThrottle) stays in force.
+  SimTime pin_lapse_ns = 20'000'000;
+
+  // Extra service delay per thrashing block under kThrottle.
+  SimTime throttle_delay_ns = 100'000;
+};
+
+class ThrashingDetector {
+ public:
+  explicit ThrashingDetector(const ThrashingConfig& config)
+      : config_(config) {}
+
+  const ThrashingConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.enabled; }
+
+  /// The block was just evicted at simulated time `now`.
+  void record_eviction(VaBlockId block, SimTime now);
+
+  /// The block is being fault-serviced at `now`. Returns true when the
+  /// block is classified as thrashing (the caller applies the configured
+  /// mitigation).
+  bool record_fault(VaBlockId block, SimTime now);
+
+  /// kPin mitigation: host-pin the block until `until`. While pinned the
+  /// driver resolves the block's accesses through its remote mapping.
+  void pin(VaBlockId block, SimTime until);
+  bool is_pinned(VaBlockId block, SimTime now) const;
+
+  /// kThrottle mitigation: shield the block from eviction until `until`.
+  void shield(VaBlockId block, SimTime until);
+  bool is_shielded(VaBlockId block, SimTime now) const;
+
+  std::uint64_t thrash_events() const noexcept { return thrash_events_; }
+  std::uint64_t pins() const noexcept { return pins_; }
+  std::uint64_t shields() const noexcept { return shields_; }
+
+ private:
+  struct BlockState {
+    SimTime last_eviction_ns = 0;
+    bool ever_evicted = false;
+    std::vector<SimTime> ring;       // newest-last thrash-event timestamps
+    SimTime pinned_until_ns = 0;
+    SimTime shielded_until_ns = 0;
+  };
+
+  ThrashingConfig config_;
+  std::unordered_map<VaBlockId, BlockState> blocks_;
+  std::uint64_t thrash_events_ = 0;
+  std::uint64_t pins_ = 0;
+  std::uint64_t shields_ = 0;
+};
+
+}  // namespace uvmsim

@@ -6,7 +6,8 @@
 namespace uvmsim {
 
 UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
-                     std::uint32_t num_sms, PcieConfig pcie)
+                     std::uint32_t num_sms, PcieConfig pcie,
+                     FaultInjector* injector)
     : config_(std::move(config)),
       memory_(gpu_memory_bytes),
       pcie_(pcie),
@@ -14,7 +15,9 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
       dma_(config_.dma),
       evictor_(config_.evict_policy == EvictPolicy::kLru ? Evictor::Policy::kLru
                                                          : Evictor::Policy::kFifo),
-      servicer_(config_, space_, memory_, dma_, copy_, evictor_, num_sms),
+      thrash_(config_.thrash),
+      servicer_(config_, space_, memory_, dma_, copy_, evictor_, num_sms,
+                injector, &thrash_),
       effective_batch_size_(config_.batch_size) {}
 
 const AllocationInfo& UvmDriver::managed_alloc(std::uint64_t bytes,
@@ -25,10 +28,13 @@ const AllocationInfo& UvmDriver::managed_alloc(std::uint64_t bytes,
 }
 
 const BatchRecord& UvmDriver::handle_batch(const std::vector<FaultRecord>& raw,
-                                           SimTime start) {
+                                           SimTime start,
+                                           std::uint32_t buffer_dropped) {
   BatchRecord record = servicer_.service(
       raw, start, static_cast<std::uint32_t>(log_.size()));
+  record.counters.buffer_dropped = buffer_dropped;
   total_batch_ns_ += record.duration_ns();
+  clock_ns_ = record.end_ns;
   if (config_.async_host_ops) {
     async_ns_ += record.phases.unmap_ns + record.phases.dma_map_ns;
   }

@@ -26,8 +26,12 @@ namespace uvmsim {
 
 class UvmDriver final : public ResidencyOracle {
  public:
+  /// `injector` (optional) is the cross-layer fault-injection schedule
+  /// shared with the GPU engine and the System loop; the driver consults
+  /// it for transient copy/DMA errors on the fault path.
   UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
-            std::uint32_t num_sms, PcieConfig pcie = {});
+            std::uint32_t num_sms, PcieConfig pcie = {},
+            FaultInjector* injector = nullptr);
 
   /// cudaMallocManaged equivalent: reserve managed pages and apply the
   /// host initialization pattern (plus optional cudaMemAdvise placement).
@@ -37,8 +41,12 @@ class UvmDriver final : public ResidencyOracle {
 
   /// Service one already-drained batch of faults starting at `start` and
   /// append the record to the batch log. Returns the appended record.
+  /// `buffer_dropped` annotates how many fault records the HW buffer
+  /// dropped (overflow) since the previous batch — observability for
+  /// overflow storms (the System loop supplies the delta).
   const BatchRecord& handle_batch(const std::vector<FaultRecord>& raw,
-                                  SimTime start);
+                                  SimTime start,
+                                  std::uint32_t buffer_dropped = 0);
 
   // ResidencyOracle: the GPU's page-table view.
   bool is_resident_on_gpu(PageId page) const override {
@@ -46,10 +54,16 @@ class UvmDriver final : public ResidencyOracle {
   }
 
   /// Host-pinned allocations resolve remotely (DMA mapping) instead of
-  /// faulting; everything else migrates on fault as usual.
+  /// faulting; everything else migrates on fault as usual. Blocks pinned
+  /// by the thrashing mitigation behave like advised-host pages while the
+  /// pin lasts.
   PageLocation classify(PageId page) const override {
     if (space_.is_gpu_resident(page)) return PageLocation::kGpuResident;
     if (space_.advise_of(page) == MemAdvise::kPreferredLocationHost) {
+      return PageLocation::kRemoteMapped;
+    }
+    if (thrash_.enabled() &&
+        thrash_.is_pinned(va_block_of(page), clock_ns_)) {
       return PageLocation::kRemoteMapped;
     }
     return PageLocation::kFaultRequired;
@@ -64,6 +78,7 @@ class UvmDriver final : public ResidencyOracle {
   PcieLink& pcie() noexcept { return pcie_; }
   const CopyEngine& copy_engine() const noexcept { return copy_; }
   const Evictor& evictor() const noexcept { return evictor_; }
+  const ThrashingDetector& thrashing() const noexcept { return thrash_; }
 
   const BatchLog& log() const noexcept { return log_; }
   BatchLog take_log() noexcept { return std::move(log_); }
@@ -92,10 +107,12 @@ class UvmDriver final : public ResidencyOracle {
   CopyEngine copy_;
   DmaMapper dma_;
   Evictor evictor_;
+  ThrashingDetector thrash_;
   FaultServicer servicer_;
   BatchLog log_;
   SimTime total_batch_ns_ = 0;
   SimTime async_ns_ = 0;
+  SimTime clock_ns_ = 0;  // end of the last serviced batch (pin expiry)
   std::uint32_t effective_batch_size_ = 256;
 };
 

@@ -129,6 +129,60 @@ TEST(FaultBuffer, FlushArrivedKeepsInFlightRecords) {
   EXPECT_EQ(buf.total_flushed(), 2u);
 }
 
+TEST(FaultBuffer, FlushArrivedOnEmptyBufferIsANoOp) {
+  FaultBuffer buf(8);
+  EXPECT_EQ(buf.flush_arrived(1'000'000), 0u);
+  EXPECT_EQ(buf.total_flushed(), 0u);
+}
+
+TEST(FaultBuffer, FlushArrivedIncludesExactBoundaryTimestamp) {
+  // A record whose arrival equals the flush time has been written by the
+  // GMMU at that instant — the driver's flush discards it.
+  FaultBuffer buf(8);
+  buf.push(fault(0, 500));
+  buf.push(fault(1, 501));
+  EXPECT_EQ(buf.flush_arrived(500), 1u);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(*buf.next_arrival(), 501u);
+}
+
+TEST(FaultBuffer, FlushArrivedAllArrivedEmptiesBuffer) {
+  FaultBuffer buf(8);
+  for (PageId p = 0; p < 5; ++p) buf.push(fault(p, p * 10));
+  EXPECT_EQ(buf.flush_arrived(1000), 5u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.total_flushed(), 5u);
+}
+
+TEST(FaultBuffer, FlushArrivedFreesSpaceForNewPushes) {
+  // Overflow drops, then a flush: the freed slots accept new records and
+  // the drop/flush counters stay separate.
+  FaultBuffer buf(2);
+  buf.push(fault(0, 10));
+  buf.push(fault(1, 20));
+  EXPECT_FALSE(buf.push(fault(2, 30)));
+  EXPECT_EQ(buf.total_dropped_full(), 1u);
+  EXPECT_EQ(buf.flush_arrived(100), 2u);
+  EXPECT_TRUE(buf.push(fault(3, 40)));
+  EXPECT_EQ(buf.total_dropped_full(), 1u);
+  EXPECT_EQ(buf.total_flushed(), 2u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(FaultBuffer, FlushArrivedSurvivorsKeepOrder) {
+  FaultBuffer buf(8);
+  buf.push(fault(0, 10));
+  buf.push(fault(1, 800));
+  buf.push(fault(2, 20));
+  buf.push(fault(3, 900));
+  buf.sort_pending();
+  EXPECT_EQ(buf.flush_arrived(100), 2u);
+  const auto batch = buf.drain(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].page, 1u);
+  EXPECT_EQ(batch[1].page, 3u);
+}
+
 TEST(FaultBuffer, SortPendingRestoresArrivalOrder) {
   FaultBuffer buf(8);
   buf.push(fault(0, 300));

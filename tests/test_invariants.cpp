@@ -55,6 +55,26 @@ FuzzCase make_case(std::uint64_t seed) {
   return c;
 }
 
+/// The same scenarios with the cross-layer fault injector armed. The
+/// draws extending `make_case` come from a separate stream so the base
+/// cases above stay byte-for-byte what they were.
+FuzzCase make_injected_case(std::uint64_t seed) {
+  FuzzCase c = make_case(seed);
+  std::mt19937_64 rng(0xFA17B07ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  auto& inj = c.config.driver.inject;
+  inj.enabled = true;
+  inj.seed = rng();
+  inj.transfer_error_prob = 0.05 * static_cast<double>(rng() % 4);   // 0..0.15
+  inj.dma_map_error_prob = 0.05 * static_cast<double>(rng() % 4);
+  inj.interrupt_delay_prob = 0.05 * static_cast<double>(rng() % 3);
+  inj.interrupt_loss_prob = 0.02 * static_cast<double>(rng() % 2);
+  inj.storm_prob = 0.05 * static_cast<double>(rng() % 3);
+  inj.storm_faults = 512u << (rng() % 3);
+  c.config.driver.retry.max_attempts =
+      2 + static_cast<std::uint32_t>(rng() % 3);
+  return c;
+}
+
 /// Conservation checks every run must satisfy, any policy, any seed.
 void check_run_invariants(const System& system, const SystemConfig& cfg,
                           const RunResult& result) {
@@ -113,6 +133,45 @@ TEST(Invariants, FuzzedWorkloadsConserveAcrossPoliciesAndSeeds) {
     if (!c.config.driver.prefetch_enabled) {
       EXPECT_EQ(migrated[1], migrated[0]) << "seed " << seed;
       EXPECT_EQ(migrated[2], migrated[0]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Invariants, InjectedFaultsConserveAndBalanceAcrossSeeds) {
+  // Transient errors, lost interrupts, and fault storms may defer work,
+  // never lose it: every run still completes with the conservation
+  // invariants intact, and the injected-error books balance exactly
+  // against the batch log.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const FuzzCase c = make_injected_case(seed);
+    System system(c.config);
+    const auto result = system.run(c.spec);
+    ASSERT_GT(result.total_faults, 0u) << "seed " << seed;
+    check_run_invariants(system, c.config, result);
+
+    // Accounting balance: each injected transfer/DMA error lands in
+    // exactly one batch record.
+    std::uint64_t logged_transfer_errors = 0;
+    std::uint64_t logged_dma_errors = 0;
+    std::uint64_t logged_dropped = 0;
+    for (const auto& rec : result.log) {
+      logged_transfer_errors += rec.counters.transfer_errors;
+      logged_dma_errors += rec.counters.dma_map_errors;
+      logged_dropped += rec.counters.buffer_dropped;
+    }
+    EXPECT_EQ(logged_transfer_errors, result.injected_transfer_errors)
+        << "seed " << seed;
+    EXPECT_EQ(logged_dma_errors, result.injected_dma_errors)
+        << "seed " << seed;
+    EXPECT_EQ(logged_dropped, result.faults_dropped_full) << "seed " << seed;
+
+    // Determinism: the same injected scenario replays bit-identically.
+    System replay_system(c.config);
+    const auto replay = replay_system.run(c.spec);
+    ASSERT_EQ(replay.log.size(), result.log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < result.log.size(); ++i) {
+      ASSERT_EQ(serialize_batch(replay.log[i]), serialize_batch(result.log[i]))
+          << "seed " << seed << " batch " << i;
     }
   }
 }

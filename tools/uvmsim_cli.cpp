@@ -36,6 +36,10 @@ struct Args {
     const auto it = named.find(name);
     return it == named.end() ? fallback : std::stoull(it->second);
   }
+  double get_f64(const std::string& name, double fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : std::stod(it->second);
+  }
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -110,6 +114,15 @@ int cmd_list() {
               "--async-host-ops --pin-host --log FILE\n");
   std::printf("driver parallelism (paper §6): --service-policy "
               "serial|vablock|sm --service-workers K\n");
+  std::printf("fault injection: --inject --inject-seed N "
+              "--inject-transfer-err P --inject-dma-err P "
+              "--inject-irq-delay-prob P --inject-irq-delay-ns N "
+              "--inject-irq-loss P --inject-storm-prob P "
+              "--inject-storm-faults N\n");
+  std::printf("retry policy: --retry-max N --retry-backoff-ns N "
+              "--retry-backoff-cap-ns N\n");
+  std::printf("thrashing: --thrash-detect --thrash-mitigation "
+              "none|pin|throttle --thrash-threshold N --thrash-lapse-ns N\n");
   return 0;
 }
 
@@ -141,6 +154,47 @@ int cmd_run(const Args& args) {
   cfg.driver.parallelism.workers =
       static_cast<std::uint32_t>(args.get_u64("service-workers", 1));
   cfg.seed = args.get_u64("seed", cfg.seed);
+
+  if (args.flag("inject")) {
+    auto& inj = cfg.driver.inject;
+    inj.enabled = true;
+    inj.seed = args.get_u64("inject-seed", inj.seed);
+    inj.transfer_error_prob = args.get_f64("inject-transfer-err", 0.0);
+    inj.dma_map_error_prob = args.get_f64("inject-dma-err", 0.0);
+    inj.interrupt_delay_prob = args.get_f64("inject-irq-delay-prob", 0.0);
+    inj.interrupt_delay_ns =
+        args.get_u64("inject-irq-delay-ns", inj.interrupt_delay_ns);
+    inj.interrupt_loss_prob = args.get_f64("inject-irq-loss", 0.0);
+    inj.storm_prob = args.get_f64("inject-storm-prob", 0.0);
+    inj.storm_faults = static_cast<std::uint32_t>(
+        args.get_u64("inject-storm-faults", inj.storm_faults));
+  }
+  cfg.driver.retry.max_attempts =
+      static_cast<std::uint32_t>(args.get_u64("retry-max",
+                                              cfg.driver.retry.max_attempts));
+  cfg.driver.retry.backoff_base_ns =
+      args.get_u64("retry-backoff-ns", cfg.driver.retry.backoff_base_ns);
+  cfg.driver.retry.backoff_cap_ns =
+      args.get_u64("retry-backoff-cap-ns", cfg.driver.retry.backoff_cap_ns);
+  if (args.flag("thrash-detect")) {
+    auto& th = cfg.driver.thrash;
+    th.enabled = true;
+    if (const std::string mit = args.get("thrash-mitigation", "pin");
+        mit == "none") {
+      th.mitigation = ThrashMitigation::kNone;
+    } else if (mit == "pin") {
+      th.mitigation = ThrashMitigation::kPin;
+    } else if (mit == "throttle") {
+      th.mitigation = ThrashMitigation::kThrottle;
+    } else {
+      std::fprintf(stderr, "unknown --thrash-mitigation '%s' "
+                   "(none|pin|throttle)\n", mit.c_str());
+      return 2;
+    }
+    th.threshold = static_cast<std::uint32_t>(
+        args.get_u64("thrash-threshold", th.threshold));
+    th.lapse_ns = args.get_u64("thrash-lapse-ns", th.lapse_ns);
+  }
   if (args.flag("pin-host")) {
     for (auto& alloc : spec->allocs) {
       alloc.advise = MemAdvise::kPreferredLocationHost;
@@ -161,6 +215,29 @@ int cmd_run(const Args& args) {
               static_cast<unsigned long long>(result.evictions),
               static_cast<double>(result.bytes_h2d) / (1 << 20),
               static_cast<double>(result.bytes_d2h) / (1 << 20));
+  if (result.injected_transfer_errors || result.injected_dma_errors ||
+      result.interrupts_delayed || result.interrupts_lost ||
+      result.injected_storm_faults || result.faults_dropped_full ||
+      result.service_aborts) {
+    std::printf("robustness: xfer_err=%llu (retries=%llu) dma_err=%llu "
+                "(retries=%llu) aborts=%llu irq_delayed=%llu irq_lost=%llu "
+                "storm_faults=%llu buf_dropped=%llu flushed=%llu\n",
+                static_cast<unsigned long long>(result.injected_transfer_errors),
+                static_cast<unsigned long long>(result.transfer_retries),
+                static_cast<unsigned long long>(result.injected_dma_errors),
+                static_cast<unsigned long long>(result.dma_map_retries),
+                static_cast<unsigned long long>(result.service_aborts),
+                static_cast<unsigned long long>(result.interrupts_delayed),
+                static_cast<unsigned long long>(result.interrupts_lost),
+                static_cast<unsigned long long>(result.injected_storm_faults),
+                static_cast<unsigned long long>(result.faults_dropped_full),
+                static_cast<unsigned long long>(result.faults_flushed));
+  }
+  if (result.thrash_pins || result.thrash_throttles) {
+    std::printf("thrashing: pins=%llu throttles=%llu\n",
+                static_cast<unsigned long long>(result.thrash_pins),
+                static_cast<unsigned long long>(result.thrash_throttles));
+  }
 
   if (const std::string path = args.get("log", ""); !path.empty()) {
     std::ofstream out(path);
@@ -224,6 +301,24 @@ int cmd_analyze(const std::string& path) {
     table.add_row({"per-SM-parallel speedup (" + std::to_string(workers) +
                        " workers)",
                    fmt(sm.speedup, 2) + "x"});
+  }
+  if (const auto robust = robustness_totals(log); robust.any()) {
+    table.add_row({"transfer errors (injected)",
+                   std::to_string(robust.transfer_errors)});
+    table.add_row({"transfer retries", std::to_string(robust.transfer_retries)});
+    table.add_row({"dma map errors (injected)",
+                   std::to_string(robust.dma_map_errors)});
+    table.add_row({"dma map retries", std::to_string(robust.dma_map_retries)});
+    table.add_row({"service aborts", std::to_string(robust.service_aborts)});
+    table.add_row({"thrash pins", std::to_string(robust.thrash_pins)});
+    table.add_row({"thrash throttles",
+                   std::to_string(robust.thrash_throttles)});
+    table.add_row({"buffer overflow drops",
+                   std::to_string(robust.buffer_dropped)});
+    table.add_row({"retry backoff (ms)",
+                   fmt(static_cast<double>(robust.backoff_ns) / 1e6, 3)});
+    table.add_row({"throttle delay (ms)",
+                   fmt(static_cast<double>(robust.throttle_ns) / 1e6, 3)});
   }
   std::printf("%s", table.render().c_str());
   return 0;
