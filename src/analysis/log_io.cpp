@@ -1,10 +1,12 @@
 #include "analysis/log_io.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 namespace uvmsim {
 namespace {
@@ -252,6 +254,404 @@ ParseResult read_batch_log(std::istream& in) {
     }
   }
   return result;
+}
+
+// ---- Chrome trace-event JSON --------------------------------------------
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(ch >> 4) & 0xF];
+          out += kHex[ch & 0xF];
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+/// Simulated ns rendered as Chrome-trace microseconds with exactly three
+/// fractional digits — pure integer math, so the text is reproducible.
+void append_us(std::string& out, SimTime ns) {
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const SimTime frac = ns % 1000;
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + frac / 10 % 10);
+  out += static_cast<char>('0' + frac % 10);
+}
+
+void append_trace_args(std::string& out, const TraceArgs& args) {
+  out += ", \"args\": {";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += '}';
+}
+
+/// Minimal scanner for one serialized trace-event object (the subset
+/// trace_to_json emits: string/number scalars plus one flat "args"
+/// object). Invokes on_scalar(key, raw, is_string) for top-level fields
+/// and on_arg(key, raw, is_string) for args members; raw strings arrive
+/// unescaped.
+bool scan_event_object(std::string_view s, const auto& on_scalar,
+                       const auto& on_arg) {
+  std::size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t')) ++pos;
+  };
+  const auto parse_string = [&](std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    while (pos < s.size() && s[pos] != '"') {
+      if (s[pos] == '\\') {
+        if (++pos >= s.size()) return false;
+        switch (s[pos]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos + 4 >= s.size()) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s[pos + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return false;
+            }
+            out += static_cast<char>(code);
+            pos += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += s[pos];
+      }
+      ++pos;
+    }
+    if (pos >= s.size()) return false;
+    ++pos;  // closing quote
+    return true;
+  };
+  const auto parse_number_raw = [&](std::string& out) {
+    const std::size_t begin = pos;
+    while (pos < s.size() &&
+           ((s[pos] >= '0' && s[pos] <= '9') || s[pos] == '.' ||
+            s[pos] == '-')) {
+      ++pos;
+    }
+    out.assign(s.substr(begin, pos - begin));
+    return pos > begin;
+  };
+
+  skip_ws();
+  if (pos >= s.size() || s[pos] != '{') return false;
+  ++pos;
+  for (;;) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == '}') return true;
+    std::string key;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (pos >= s.size() || s[pos] != ':') return false;
+    ++pos;
+    skip_ws();
+    if (pos < s.size() && s[pos] == '{') {
+      // Nested object: only "args" is emitted, with flat members.
+      ++pos;
+      for (;;) {
+        skip_ws();
+        if (pos < s.size() && s[pos] == '}') { ++pos; break; }
+        std::string akey, avalue;
+        if (!parse_string(akey)) return false;
+        skip_ws();
+        if (pos >= s.size() || s[pos] != ':') return false;
+        ++pos;
+        skip_ws();
+        bool is_string = pos < s.size() && s[pos] == '"';
+        if (is_string ? !parse_string(avalue) : !parse_number_raw(avalue)) {
+          return false;
+        }
+        on_arg(akey, avalue, is_string);
+        skip_ws();
+        if (pos < s.size() && s[pos] == ',') ++pos;
+      }
+    } else {
+      std::string value;
+      const bool is_string = pos < s.size() && s[pos] == '"';
+      if (is_string ? !parse_string(value) : !parse_number_raw(value)) {
+        return false;
+      }
+      on_scalar(key, value, is_string);
+    }
+    skip_ws();
+    if (pos < s.size() && s[pos] == ',') ++pos;
+  }
+}
+
+/// Parse "whole.fff" microseconds back to integer ns (exact inverse of
+/// append_us; a missing fraction is tolerated as .000).
+bool parse_us_to_ns(std::string_view text, SimTime& ns) {
+  const std::size_t dot = text.find('.');
+  std::uint64_t whole = 0, frac = 0;
+  if (!parse_u64(text.substr(0, dot), whole)) return false;
+  if (dot != std::string_view::npos) {
+    const std::string_view frac_text = text.substr(dot + 1);
+    if (frac_text.size() != 3 || !parse_u64(frac_text, frac)) return false;
+  }
+  ns = whole * 1000 + frac;
+  return true;
+}
+
+}  // namespace
+
+std::string trace_to_json(const Tracer& tracer) {
+  std::string out = "{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  bool first = true;
+  const auto next_line = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  next_line();
+  out +=
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+      "\"args\": {\"name\": \"uvmsim\"}}";
+  for (const auto& [track, name] : tracer.track_names()) {
+    next_line();
+    out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": ";
+    out += std::to_string(track);
+    out += ", \"args\": {\"name\": \"";
+    append_json_escaped(out, name);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : tracer.events()) {
+    next_line();
+    out += "{\"name\": \"";
+    append_json_escaped(out, e.name);
+    out += "\", \"cat\": \"uvm\", \"ph\": \"";
+    switch (e.kind) {
+      case TraceEvent::Kind::kSpan: out += 'X'; break;
+      case TraceEvent::Kind::kInstant: out += "i\", \"s\": \"t"; break;
+      case TraceEvent::Kind::kCounter: out += 'C'; break;
+    }
+    out += "\", \"ts\": ";
+    append_us(out, e.begin_ns);
+    if (e.kind == TraceEvent::Kind::kSpan) {
+      out += ", \"dur\": ";
+      append_us(out, e.end_ns - e.begin_ns);
+    }
+    out += ", \"pid\": 0, \"tid\": ";
+    out += std::to_string(e.track);
+    if (e.kind == TraceEvent::Kind::kCounter) {
+      out += ", \"args\": {\"value\": ";
+      out += std::to_string(e.value);
+      out += '}';
+    } else if (!e.args.empty()) {
+      append_trace_args(out, e.args);
+    }
+    out += '}';
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void write_trace_json(std::ostream& out, const Tracer& tracer) {
+  out << trace_to_json(tracer);
+}
+
+bool read_trace_json(std::istream& in, TraceParseResult& out) {
+  TraceParseResult parsed;
+  std::string line;
+  bool in_events = false;
+  while (std::getline(in, line)) {
+    if (!in_events) {
+      if (line.find("\"traceEvents\"") != std::string::npos) in_events = true;
+      continue;
+    }
+    std::string_view object = line;
+    if (!object.empty() && object.back() == ',') object.remove_suffix(1);
+    if (object.empty() || object.front() != '{') {
+      if (!object.empty() && object.front() == ']') break;
+      continue;
+    }
+
+    std::string name, ph, ts_raw, dur_raw, tid_raw, arg_name;
+    TraceArgs args;
+    std::uint64_t counter_value = 0;
+    bool has_counter_value = false;
+    const bool ok = scan_event_object(
+        object,
+        [&](const std::string& key, const std::string& value, bool) {
+          if (key == "name") name = value;
+          else if (key == "ph") ph = value;
+          else if (key == "ts") ts_raw = value;
+          else if (key == "dur") dur_raw = value;
+          else if (key == "tid") tid_raw = value;
+        },
+        [&](const std::string& key, const std::string& value,
+            bool is_string) {
+          if (is_string) {
+            if (key == "name") arg_name = value;
+            return;
+          }
+          std::uint64_t v = 0;
+          if (!parse_u64(value, v)) return;
+          if (key == "value") {
+            counter_value = v;
+            has_counter_value = true;
+          } else {
+            args.emplace_back(key, v);
+          }
+        });
+    if (!ok) return false;
+
+    std::uint64_t tid = 0;
+    if (!tid_raw.empty() && !parse_u64(tid_raw, tid)) return false;
+
+    if (ph == "M") {
+      if (name == "thread_name" && !tid_raw.empty()) {
+        parsed.track_names[static_cast<TrackId>(tid)] = arg_name;
+      }
+      continue;  // process_name and other metadata carry no event
+    }
+
+    TraceEvent event;
+    event.name = std::move(name);
+    event.track = static_cast<TrackId>(tid);
+    if (!parse_us_to_ns(ts_raw, event.begin_ns)) return false;
+    if (ph == "X") {
+      event.kind = TraceEvent::Kind::kSpan;
+      SimTime dur = 0;
+      if (!parse_us_to_ns(dur_raw, dur)) return false;
+      event.end_ns = event.begin_ns + dur;
+      event.args = std::move(args);
+    } else if (ph == "i") {
+      event.kind = TraceEvent::Kind::kInstant;
+      event.end_ns = event.begin_ns;
+      event.args = std::move(args);
+    } else if (ph == "C") {
+      event.kind = TraceEvent::Kind::kCounter;
+      event.end_ns = event.begin_ns;
+      if (!has_counter_value) return false;
+      event.value = counter_value;
+    } else {
+      return false;  // not a kind trace_to_json emits
+    }
+    parsed.events.push_back(std::move(event));
+  }
+  if (!in_events) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+// ---- Metrics JSON -------------------------------------------------------
+
+namespace {
+
+/// Percentiles serialize as fixed three-decimal text (they are bucket
+/// interpolations, so sub-ns digits carry no information) — snprintf on
+/// the same double is reproducible.
+void append_fixed3(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+  std::string out = "{\n\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"";
+    append_json_escaped(out, name);
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n},\n";
+
+  out += "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"";
+    append_json_escaped(out, name);
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n},\n";
+
+  out += "\"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  \"";
+    append_json_escaped(out, name);
+    out += "\": {\"count\": ";
+    out += std::to_string(hist.total());
+    out += ", \"sum\": ";
+    out += std::to_string(hist.sum());
+    out += ", \"min\": ";
+    out += std::to_string(hist.min());
+    out += ", \"max\": ";
+    out += std::to_string(hist.max());
+    out += ", \"p50\": ";
+    append_fixed3(out, hist.percentile(0.50));
+    out += ", \"p95\": ";
+    append_fixed3(out, hist.percentile(0.95));
+    out += ", \"p99\": ";
+    append_fixed3(out, hist.percentile(0.99));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < hist.used_buckets(); ++b) {
+      if (hist.bucket_count(b) == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += '[';
+      out += std::to_string(Log2Histogram::bucket_lo(b));
+      out += ", ";
+      out += std::to_string(Log2Histogram::bucket_hi(b));
+      out += ", ";
+      out += std::to_string(hist.bucket_count(b));
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n}\n";
+  out += "}\n";
+  return out;
+}
+
+void write_metrics_json(std::ostream& out, const MetricsRegistry& registry) {
+  out << metrics_to_json(registry);
 }
 
 }  // namespace uvmsim

@@ -1,5 +1,7 @@
 #include "analysis/summary.hpp"
 
+#include <utility>
+
 namespace uvmsim {
 
 SmStatsRow sm_stats(const BatchLog& log, std::uint32_t num_sms) {
@@ -78,6 +80,51 @@ BatchPhaseTimes phase_totals(const BatchLog& log) {
     total.throttle_ns += rec.phases.throttle_ns;
   }
   return total;
+}
+
+std::vector<PhaseDistribution> phase_distributions(const BatchLog& log) {
+  // (name, accessor) in BatchPhaseTimes declaration order.
+  static constexpr std::pair<const char*, SimTime BatchPhaseTimes::*>
+      kPhases[] = {
+          {"fetch", &BatchPhaseTimes::fetch_ns},
+          {"dedup", &BatchPhaseTimes::dedup_ns},
+          {"vablock", &BatchPhaseTimes::vablock_ns},
+          {"eviction", &BatchPhaseTimes::eviction_ns},
+          {"unmap", &BatchPhaseTimes::unmap_ns},
+          {"populate", &BatchPhaseTimes::populate_ns},
+          {"dma_map", &BatchPhaseTimes::dma_map_ns},
+          {"prefetch", &BatchPhaseTimes::prefetch_ns},
+          {"transfer", &BatchPhaseTimes::transfer_ns},
+          {"pagetable", &BatchPhaseTimes::pagetable_ns},
+          {"replay", &BatchPhaseTimes::replay_ns},
+          {"backoff", &BatchPhaseTimes::backoff_ns},
+          {"throttle", &BatchPhaseTimes::throttle_ns},
+      };
+
+  std::vector<PhaseDistribution> rows;
+  rows.reserve(std::size(kPhases));
+  std::vector<double> samples;
+  samples.reserve(log.size());
+  for (const auto& [name, member] : kPhases) {
+    PhaseDistribution row;
+    row.name = name;
+    samples.clear();
+    for (const auto& rec : log) {
+      const SimTime v = rec.phases.*member;
+      row.total_ns += v;
+      if (v > row.max_ns) row.max_ns = v;
+      samples.push_back(static_cast<double>(v));
+    }
+    if (!samples.empty()) {
+      row.mean_ns = static_cast<double>(row.total_ns) /
+                    static_cast<double>(samples.size());
+      row.p50_ns = percentile(samples, 0.50);
+      row.p95_ns = percentile(samples, 0.95);
+      row.p99_ns = percentile(samples, 0.99);
+    }
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 FaultTotals fault_totals(const BatchLog& log) {

@@ -38,6 +38,21 @@ std::vector<double> extract(const BatchLog& log,
 /// Aggregate phase times over the whole log.
 BatchPhaseTimes phase_totals(const BatchLog& log);
 
+/// Per-phase distribution across batches (the `analyze --phases` view):
+/// one row per BatchPhaseTimes field, in declaration order, with the
+/// phase's total, mean, and exact sorted-sample percentiles of the
+/// per-batch values. Empty log yields 13 all-zero rows.
+struct PhaseDistribution {
+  const char* name = "";  // stable phase key ("fetch", "dedup", ...)
+  SimTime total_ns = 0;
+  double mean_ns = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+  double p99_ns = 0;
+  SimTime max_ns = 0;
+};
+std::vector<PhaseDistribution> phase_distributions(const BatchLog& log);
+
 /// Total unique / raw faults over the log.
 struct FaultTotals {
   std::uint64_t raw = 0;

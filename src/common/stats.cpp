@@ -1,6 +1,7 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace uvmsim {
@@ -106,6 +107,115 @@ double Histogram::bin_lo(std::size_t i) const noexcept {
 
 double Histogram::bin_hi(std::size_t i) const noexcept {
   return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+namespace {
+
+/// Shared binned-percentile walk. `rank` indexes the sorted sample
+/// sequence (0-based, may be fractional); buckets are visited in order via
+/// `count(i)` with value span [lo(i), hi(i)). Within a bucket of c samples
+/// the k-th one is placed at the (k + 0.5)/c fraction of the span, so a
+/// bucket holding a single sample answers with its midpoint. Returning the
+/// raw bucket lower bound here would be wrong: every percentile landing in
+/// a one-element bucket (the common case for p99 in a long tail) would
+/// collapse to the bucket edge and underestimate the tail.
+template <typename Count, typename Lo, typename Hi>
+double binned_percentile(double rank, std::size_t buckets, Count count, Lo lo,
+                         Hi hi) noexcept {
+  double cumulative = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double c = static_cast<double>(count(b));
+    if (c == 0) continue;
+    if (rank < cumulative + c) {
+      const double within = (rank - cumulative + 0.5) / c;  // (0, 1)
+      return lo(b) + (hi(b) - lo(b)) * within;
+    }
+    cumulative += c;
+  }
+  // rank beyond the last sample (q = 1 with fractional placement): the
+  // top of the highest non-empty bucket's occupied range.
+  for (std::size_t b = buckets; b-- > 0;) {
+    const double c = static_cast<double>(count(b));
+    if (c == 0) continue;
+    return lo(b) + (hi(b) - lo(b)) * (c - 0.5) / c;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double Histogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_ - 1);
+  // Model underflow as a virtual bucket pinned at lo_ and overflow as one
+  // pinned at the top edge, so clipped samples still weigh on the rank.
+  const std::size_t virtual_buckets = counts_.size() + 2;
+  const auto count = [&](std::size_t b) -> std::size_t {
+    if (b == 0) return underflow_;
+    if (b == virtual_buckets - 1) return overflow_;
+    return counts_[b - 1];
+  };
+  const auto lo = [&](std::size_t b) -> double {
+    if (b == 0) return lo_;
+    if (b == virtual_buckets - 1) return bin_hi(counts_.size() - 1);
+    return bin_lo(b - 1);
+  };
+  const auto hi = [&](std::size_t b) -> double {
+    if (b == 0) return lo_;
+    if (b == virtual_buckets - 1) return bin_hi(counts_.size() - 1);
+    return bin_hi(b - 1);
+  };
+  return binned_percentile(rank, virtual_buckets, count, lo, hi);
+}
+
+void Log2Histogram::add(std::uint64_t value) noexcept {
+  const auto bucket = static_cast<std::size_t>(std::bit_width(value));
+  ++counts_[bucket];
+  ++total_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::size_t Log2Histogram::bucket_count(std::size_t b) const noexcept {
+  return b < kBuckets ? static_cast<std::size_t>(counts_[b]) : 0;
+}
+
+std::size_t Log2Histogram::used_buckets() const noexcept {
+  for (std::size_t b = kBuckets; b-- > 0;) {
+    if (counts_[b] != 0) return b + 1;
+  }
+  return 0;
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t b) noexcept {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_hi(std::size_t b) noexcept {
+  if (b == 0) return 1;
+  if (b >= kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << b;
+}
+
+double Log2Histogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_ - 1);
+  return binned_percentile(
+      rank, kBuckets, [&](std::size_t b) { return counts_[b]; },
+      [](std::size_t b) { return static_cast<double>(bucket_lo(b)); },
+      [](std::size_t b) { return static_cast<double>(bucket_hi(b)); });
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) noexcept {
+  if (other.total_ == 0) return;
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 }  // namespace uvmsim

@@ -70,6 +70,15 @@ class Histogram {
   double bin_lo(std::size_t i) const noexcept;
   double bin_hi(std::size_t i) const noexcept;
 
+  /// q-th percentile (q in [0,1]) estimated from the binned counts with
+  /// within-bucket interpolation: the c samples of a bucket are treated as
+  /// sitting at the (k + 0.5)/c fractions of the bucket span, so a
+  /// single-element bucket reports its midpoint — NOT its lower bound,
+  /// which would systematically underestimate tail percentiles (p99 of a
+  /// distribution whose tail bucket holds one sample). Underflow samples
+  /// pin to `lo`, overflow samples to `hi`. Empty histogram yields 0.
+  double percentile(double q) const noexcept;
+
  private:
   double lo_;
   double width_;
@@ -77,6 +86,48 @@ class Histogram {
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
   std::size_t total_ = 0;
+};
+
+/// Power-of-two-bucket histogram for nonnegative integer samples
+/// (latencies in ns, byte counts, fault counts). Bucket 0 holds the value
+/// 0; bucket b >= 1 holds [2^(b-1), 2^b). Compact (65 fixed buckets),
+/// mergeable, and cheap enough to sit on the fault path — this is the
+/// MetricsRegistry's distribution primitive.
+class Log2Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void add(std::uint64_t value) noexcept;
+
+  std::size_t bucket_count(std::size_t b) const noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return total_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return total_ ? max_ : 0; }
+
+  /// Index of the highest non-empty bucket + 1 (0 when empty): the loop
+  /// bound serializers use so identical data always prints identically.
+  std::size_t used_buckets() const noexcept;
+
+  /// Lower/upper bound of bucket b: [0,1) for b = 0, [2^(b-1), 2^b) above.
+  static std::uint64_t bucket_lo(std::size_t b) noexcept;
+  static std::uint64_t bucket_hi(std::size_t b) noexcept;
+
+  /// q-th percentile (q in [0,1]) with the same within-bucket
+  /// interpolation rule as Histogram::percentile (single-element buckets
+  /// report their midpoint, never the bucket lower bound).
+  double percentile(double q) const noexcept;
+
+  void merge(const Log2Histogram& other) noexcept;
+
+  friend bool operator==(const Log2Histogram&, const Log2Histogram&) = default;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
 };
 
 }  // namespace uvmsim

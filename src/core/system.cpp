@@ -1,6 +1,7 @@
 #include "core/system.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace uvmsim {
 
@@ -8,9 +9,21 @@ System::System(SystemConfig config)
     : config_(config),
       injector_(config.driver.inject),
       driver_(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
-              config.pcie, &injector_),
+              config.pcie, &injector_, obs_handle()),
       gpu_(config.gpu, config.seed) {
   gpu_.set_fault_injector(&injector_);
+  gpu_.set_obs(obs_handle());
+  if (config_.obs.trace) {
+    tracer_.set_track_name(tracks::kSim, "sim");
+    tracer_.set_track_name(tracks::kDriver, "uvm driver");
+    tracer_.set_track_name(tracks::kGpu, "gpu");
+    if (config_.driver.parallelism.active()) {
+      for (unsigned k = 0; k < config_.driver.parallelism.workers; ++k) {
+        tracer_.set_track_name(tracks::kWorkerBase + k,
+                               "servicing worker " + std::to_string(k));
+      }
+    }
+  }
 }
 
 RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
@@ -53,11 +66,27 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   const std::uint64_t inj_storm_before = injector_.storm_faults_injected();
   std::uint64_t dropped_seen = dropped_before;
 
+  Tracer* const tracer = config_.obs.trace ? &tracer_ : nullptr;
+  MetricsRegistry* const metrics = config_.obs.metrics ? &metrics_ : nullptr;
+
+  // One GPU window: let every runnable warp issue until stalled, advance
+  // simulated time by the window's compute share, and trace the window.
+  const auto run_gpu_window = [&] {
+    const SimTime g0 = now_;
+    const auto g = gpu_.generate(now_, driver_);
+    now_ += g.compute_ns +
+            g.remote_requests * config_.gpu.remote_request_pipelined_ns;
+    result.gpu_compute_ns += g.compute_ns;
+    if (tracer && (now_ > g0 || g.faults_pushed > 0)) {
+      tracer->span(tracks::kGpu, "compute", g0, now_,
+                   {{"faults", g.faults_pushed},
+                    {"duplicates", g.duplicate_pushes},
+                    {"remote", g.remote_requests}});
+    }
+  };
+
   gpu_.launch(spec.kernel, base_page);
-  auto gen = gpu_.generate(now_, driver_);
-  now_ += gen.compute_ns +
-          gen.remote_requests * config_.gpu.remote_request_pipelined_ns;
-  result.gpu_compute_ns += gen.compute_ns;
+  run_gpu_window();
 
   // Driver worker loop, alternating with GPU fault generation. The guard
   // bounds total batches; real runs are far below it.
@@ -72,12 +101,11 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
       // hardware drops) or awaiting a replay. Model the throttle-timer
       // expiry: refill tokens, replay, regenerate.
       ++result.forced_throttle_refills;
+      if (tracer) tracer->instant(tracks::kSim, "forced_token_refill", now_);
+      if (metrics) metrics->add("sim.forced_token_refills");
       gpu_.force_token_refill();
       gpu_.on_replay();
-      gen = gpu_.generate(now_, driver_);
-      now_ += gen.compute_ns +
-              gen.remote_requests * config_.gpu.remote_request_pipelined_ns;
-      result.gpu_compute_ns += gen.compute_ns;
+      run_gpu_window();
       if (gpu_.fault_buffer().empty()) {
         if (gpu_.all_done()) break;
         throw std::logic_error("uvmsim: fault generation wedged");
@@ -99,6 +127,11 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     now_ = std::max(now_, first) +
            driver_.pcie().config().interrupt_latency_ns +
            driver_.config().wakeup_ns + irq_extra;
+    if (tracer) {
+      tracer->instant(tracks::kSim, "interrupt", now_,
+                      {{"first_arrival", first}});
+    }
+    if (metrics) metrics->add("sim.interrupts");
 
     // Worker services batches until no arrived faults remain, then sleeps
     // (faults still in flight re-raise the interrupt — outer loop).
@@ -117,10 +150,7 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
         gpu_.fault_buffer().flush_arrived(now_);
       }
       gpu_.on_replay();
-      gen = gpu_.generate(now_, driver_);
-      now_ += gen.compute_ns +
-              gen.remote_requests * config_.gpu.remote_request_pipelined_ns;
-      result.gpu_compute_ns += gen.compute_ns;
+      run_gpu_window();
 
       if (++batches > max_batches) {
         throw std::logic_error("uvmsim: batch guard exceeded (livelock?)");
@@ -157,6 +187,11 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     result.service_aborts += rec.counters.service_aborts;
     result.thrash_pins += rec.counters.thrash_pins;
     result.thrash_throttles += rec.counters.thrash_throttles;
+  }
+  if (metrics) {
+    metrics->add("sim.runs");
+    metrics->add("sim.kernel_time_ns", result.kernel_time_ns);
+    metrics->add("sim.gpu_compute_ns", result.gpu_compute_ns);
   }
   return result;
 }

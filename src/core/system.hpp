@@ -17,6 +17,7 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "interconnect/pcie.hpp"
+#include "obs/obs.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/uvm_driver.hpp"
 #include "workloads/workload.hpp"
@@ -27,6 +28,7 @@ struct SystemConfig {
   GpuConfig gpu;
   DriverConfig driver;
   PcieConfig pcie;
+  ObsConfig obs;                // tracing/metrics; both off by default
   std::uint64_t seed = 0x5C21;  // fault-jitter / duplicate-draw seed
 };
 
@@ -84,9 +86,25 @@ class System {
 
   const FaultInjector& injector() const noexcept { return injector_; }
 
+  /// The run-stream's recorded trace/metrics. Empty unless the matching
+  /// SystemConfig::obs flag was set; events accumulate across run() calls.
+  const Tracer& tracer() const noexcept { return tracer_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+
  private:
+  /// The nullable handle handed to every layer: points at the members
+  /// above for whichever sinks SystemConfig::obs enables.
+  Obs obs_handle() noexcept {
+    return Obs{config_.obs.trace ? &tracer_ : nullptr,
+               config_.obs.metrics ? &metrics_ : nullptr};
+  }
+
   SystemConfig config_;
   FaultInjector injector_;  // must outlive driver_ and gpu_ (they hold refs)
+  Tracer tracer_;           // must precede driver_/gpu_ (they hold pointers)
+  MetricsRegistry metrics_;
   UvmDriver driver_;
   GpuEngine gpu_;
   SimTime now_ = 0;  // advances monotonically across run() calls

@@ -271,6 +271,13 @@ GpuEngine::GenerateResult GpuEngine::generate(SimTime now,
   // Completed warp compute runs in parallel across warps; charge the
   // average serial share as the window's wall-clock contribution.
   result.compute_ns /= warps_at_start;
+  if (obs_.metrics) {
+    obs_.metrics->add("gpu.faults_emitted", result.faults_pushed);
+    obs_.metrics->add("gpu.duplicate_emissions", result.duplicate_pushes);
+    obs_.metrics->add("gpu.remote_accesses", result.remote_requests);
+    obs_.metrics->set_gauge("gpu.active_warps", active_warps_);
+    obs_.metrics->set_gauge("gpu.blocks_retired", blocks_retired_);
+  }
   return result;
 }
 
@@ -309,6 +316,13 @@ void GpuEngine::emit_injected_storm(SimTime now, GenerateResult& result) {
     }
   }
   injector_->note_storm_emitted(emitted);
+  if (obs_.metrics && emitted > 0) {
+    obs_.metrics->add("gpu.storm_faults_emitted", emitted);
+  }
+  if (obs_.tracer && emitted > 0) {
+    obs_.tracer->instant(tracks::kGpu, "fault_storm", now,
+                         {{"faults", emitted}});
+  }
 }
 
 void GpuEngine::on_replay() {

@@ -29,6 +29,7 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/kernel_desc.hpp"
 #include "gpu/utlb.hpp"
+#include "obs/obs.hpp"
 
 namespace uvmsim {
 
@@ -82,6 +83,10 @@ class GpuEngine {
   void set_fault_injector(FaultInjector* injector) noexcept {
     injector_ = injector;
   }
+
+  /// Attach observability sinks (fault-emission counters). May hold null
+  /// members; the engine does not own them.
+  void set_obs(Obs obs) noexcept { obs_ = obs; }
 
   /// Driver-issued fault replay: clear µTLB waiting state, refill SM
   /// throttle tokens, return waiting accesses to pending.
@@ -146,6 +151,7 @@ class GpuEngine {
   GpuConfig config_;
   Xoshiro256 rng_;
   FaultInjector* injector_ = nullptr;  // not owned; null = no injection
+  Obs obs_;
   FaultBuffer buffer_;
   std::vector<UTlb> utlbs_;
   std::vector<std::uint32_t> sm_tokens_;

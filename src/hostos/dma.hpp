@@ -14,6 +14,7 @@
 
 #include "common/types.hpp"
 #include "hostos/radix_tree.hpp"
+#include "obs/obs.hpp"
 
 namespace uvmsim {
 
@@ -47,8 +48,13 @@ class DmaMapper {
   std::uint64_t mapped_pages() const noexcept { return reverse_.size(); }
   const RadixTree& reverse_tree() const noexcept { return reverse_; }
 
+  /// Attach observability sinks (map-call counters, radix-growth metrics).
+  /// Null members = no recording.
+  void set_obs(Obs obs) noexcept { obs_ = obs; }
+
  private:
   DmaCostModel model_;
+  Obs obs_;
   RadixTree reverse_;
   std::uint64_t next_dma_addr_ = 0x1000;  // synthetic bus addresses
 };

@@ -8,13 +8,21 @@ unsigned sharer_count(CpuThreadMask mask) noexcept {
   return static_cast<unsigned>(std::popcount(mask));
 }
 
-SimTime UnmapCostModel::cost(std::uint32_t pages,
-                             CpuThreadMask sharers) const noexcept {
-  if (pages == 0) return 0;
+UnmapCostModel::Breakdown UnmapCostModel::breakdown(
+    std::uint32_t pages, CpuThreadMask sharers) const noexcept {
+  Breakdown parts;
+  if (pages == 0) return parts;
   const unsigned cores = sharer_count(sharers);
   const unsigned extra_cores = cores > 1 ? cores - 1 : 0;
-  return base_call_ns + per_page_ns * pages +
-         ipi_per_extra_core_ns * extra_cores;
+  parts.base_ns = base_call_ns;
+  parts.pte_ns = per_page_ns * pages;
+  parts.shootdown_ns = ipi_per_extra_core_ns * extra_cores;
+  return parts;
+}
+
+SimTime UnmapCostModel::cost(std::uint32_t pages,
+                             CpuThreadMask sharers) const noexcept {
+  return breakdown(pages, sharers).total();
 }
 
 }  // namespace uvmsim

@@ -25,6 +25,20 @@ struct UnmapCostModel {
   SimTime per_page_ns = 250;         // PTE clear + dirty-page bookkeeping
   SimTime ipi_per_extra_core_ns = 20000;  // shootdown IPI + ack per extra core
 
+  /// The same total split into its components, in execution order:
+  /// lock/rmap entry, then PTE teardown, then the cross-core TLB
+  /// shootdown. Observability consumers (the tracer's unmap ->
+  /// tlb_shootdown sub-spans, shootdown-share metrics) need the parts;
+  /// cost() below is their sum, so the two can never drift.
+  struct Breakdown {
+    SimTime base_ns = 0;
+    SimTime pte_ns = 0;
+    SimTime shootdown_ns = 0;
+    SimTime total() const noexcept { return base_ns + pte_ns + shootdown_ns; }
+  };
+  Breakdown breakdown(std::uint32_t pages, CpuThreadMask sharers)
+      const noexcept;
+
   /// Time to unmap `pages` host-resident pages whose mappings were touched
   /// by the cores in `sharers`. One sharing core pays no IPI (the caller's
   /// local TLB flush); each additional core pays a full shootdown.

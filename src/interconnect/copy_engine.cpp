@@ -12,6 +12,12 @@ void CopyEngine::account(CopyDirection direction,
     to_host_ += bytes;
   }
   link_.record(bytes);
+  if (obs_.metrics) {
+    obs_.metrics->add(direction == CopyDirection::kHostToDevice
+                          ? "copy.bytes_h2d"
+                          : "copy.bytes_d2h",
+                      bytes);
+  }
 }
 
 CopyEngine::CopyResult CopyEngine::copy_pages(std::vector<PageId> pages,
@@ -31,9 +37,11 @@ CopyEngine::CopyResult CopyEngine::copy_pages(std::vector<PageId> pages,
     out.time_ns += link_.transfer_time(bytes);
     out.bytes += bytes;
     ++out.dma_ops;
+    if (obs_.metrics) obs_.metrics->observe("copy.run_pages", run_pages);
     run_start = i;
   }
   account(direction, out.bytes);
+  if (obs_.metrics) obs_.metrics->add("copy.dma_ops", out.dma_ops);
   return out;
 }
 
@@ -46,6 +54,10 @@ CopyEngine::CopyResult CopyEngine::copy_range(PageId /*first*/,
   out.time_ns = link_.transfer_time(out.bytes);
   out.dma_ops = 1;
   account(direction, out.bytes);
+  if (obs_.metrics) {
+    obs_.metrics->observe("copy.run_pages", count);
+    obs_.metrics->add("copy.dma_ops", 1);
+  }
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "interconnect/pcie.hpp"
+#include "obs/obs.hpp"
 
 namespace uvmsim {
 
@@ -39,10 +40,15 @@ class CopyEngine {
   std::uint64_t bytes_to_device() const noexcept { return to_device_; }
   std::uint64_t bytes_to_host() const noexcept { return to_host_; }
 
+  /// Attach observability sinks (copy ops/bytes counters, DMA-run-length
+  /// histogram). Null members = no recording.
+  void set_obs(Obs obs) noexcept { obs_ = obs; }
+
  private:
   void account(CopyDirection direction, std::uint64_t bytes) noexcept;
 
   PcieLink& link_;
+  Obs obs_;
   std::uint64_t to_device_ = 0;
   std::uint64_t to_host_ = 0;
 };

@@ -13,7 +13,7 @@ FaultServicer::FaultServicer(const DriverConfig& config, VaSpace& space,
                              GpuMemory& memory, DmaMapper& dma,
                              CopyEngine& copy, Evictor& evictor,
                              std::uint32_t num_sms, FaultInjector* injector,
-                             ThrashingDetector* thrash)
+                             ThrashingDetector* thrash, Obs obs)
     : config_(config),
       space_(space),
       memory_(memory),
@@ -22,7 +22,8 @@ FaultServicer::FaultServicer(const DriverConfig& config, VaSpace& space,
       evictor_(evictor),
       num_sms_(num_sms),
       injector_(injector),
-      thrash_(thrash) {}
+      thrash_(thrash),
+      obs_(obs) {}
 
 bool FaultServicer::attempt_with_retries(RetrySite site, BatchRecord& record) {
   if (!injector_ || !injector_->active()) return true;
@@ -39,7 +40,14 @@ bool FaultServicer::attempt_with_retries(RetrySite site, BatchRecord& record) {
       ++c.dma_map_errors;
     }
     if (failures + 1 < config_.retry.max_attempts) {
+      const SimTime t0 = record.start_ns + record.phases.sum();
       record.phases.backoff_ns += config_.retry.backoff_ns(failures);
+      if (detailed_trace()) {
+        obs_.tracer->span(tracks::kDriver, "backoff", t0,
+                          record.start_ns + record.phases.sum(),
+                          {{"site", site == RetrySite::kTransfer ? 0u : 1u},
+                           {"failures", failures + 1}});
+      }
       if (site == RetrySite::kTransfer) {
         ++c.transfer_retries;
       } else {
@@ -51,6 +59,7 @@ bool FaultServicer::attempt_with_retries(RetrySite site, BatchRecord& record) {
 }
 
 void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
+  const SimTime evict_t0 = record.start_ns + record.phases.sum();
   record.phases.eviction_ns += config_.evict_fail_alloc_ns;
 
   const bool shields = thrash_ && thrash_->enabled();
@@ -91,6 +100,11 @@ void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   record.phases.eviction_ns += config_.evict_restart_ns;
   ++record.counters.evictions;
   ++total_evictions_;
+  if (detailed_trace()) {
+    obs_.tracer->span(tracks::kDriver, "evict", evict_t0,
+                      record.start_ns + record.phases.sum(),
+                      {{"victim", *victim}, {"pages_written_back", resident}});
+  }
   if (config_.record_vablock_detail) {
     record.evicted_blocks.push_back(*victim);
   }
@@ -114,6 +128,7 @@ bool FaultServicer::ensure_chunk(VaBlockId id, VaBlockState& block,
 
 void FaultServicer::pin_block(VaBlockId id, VaBlockState& block, SimTime now,
                               BatchRecord& record) {
+  const SimTime pin_t0 = record.start_ns + record.phases.sum();
   // Any pages still on the GPU move home first (chunk released so the pin
   // relieves memory pressure immediately). Charged like an eviction
   // writeback but not counted as one — the whole point of the pin is to
@@ -133,6 +148,10 @@ void FaultServicer::pin_block(VaBlockId id, VaBlockState& block, SimTime now,
   }
   thrash_->pin(id, now + config_.thrash.pin_lapse_ns);
   ++record.counters.thrash_pins;
+  if (detailed_trace()) {
+    obs_.tracer->span(tracks::kDriver, "thrash_pin", pin_t0,
+                      record.start_ns + record.phases.sum(), {{"block", id}});
+  }
 }
 
 BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
@@ -176,6 +195,20 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
   record.counters.dup_same_utlb = dedup.dup_same_utlb;
   record.counters.dup_cross_utlb = dedup.dup_cross_utlb;
 
+  // Fetch and dedup are the batch's serial prefix in every servicing mode,
+  // so their spans are valid even when the per-block timeline is not.
+  Tracer* const tracer = obs_.tracer;
+  if (tracer) {
+    const SimTime fetch_end = start + record.phases.fetch_ns;
+    tracer->span(tracks::kDriver, "fetch", start, fetch_end,
+                 {{"raw_faults", raw.size()}});
+    tracer->span(tracks::kDriver, "dedup", fetch_end,
+                 fetch_end + record.phases.dedup_ns,
+                 {{"unique", dedup.unique.size()},
+                  {"dup_same_utlb", dedup.dup_same_utlb},
+                  {"dup_cross_utlb", dedup.dup_cross_utlb}});
+  }
+
   // -- Group by VABlock (the driver processes blocks independently) -------
   std::map<VaBlockId, std::vector<const FaultRecord*>> by_block;
   for (const auto& f : dedup.unique) {
@@ -190,6 +223,11 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
   // Per-VABlock service costs double as the parallel model's work units.
   std::vector<SimTime> block_costs;
   if (parallel) block_costs.reserve(by_block.size());
+  // Block ids in work-unit order, for labeling per-VABlock worker spans.
+  std::vector<VaBlockId> block_order;
+  if (parallel && tracer) block_order.reserve(by_block.size());
+
+  const bool detailed = detailed_trace();
 
   for (auto& [block_id, faults] : by_block) {
     VaBlockState& block = space_.block(block_id);
@@ -204,9 +242,17 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     // below and the normal path at the bottom of the loop).
     const auto finish_block = [&] {
       const SimTime block_cost = record.phases.sum() - block_cost_start;
-      if (parallel) block_costs.push_back(block_cost);
+      if (parallel) {
+        block_costs.push_back(block_cost);
+        if (tracer) block_order.push_back(block_id);
+      }
       if (config_.record_vablock_detail) {
         record.vablock_service_ns.emplace_back(block_id, block_cost);
+      }
+      if (detailed) {
+        tracer->span(tracks::kDriver, "vablock", start + block_cost_start,
+                     start + block_cost_start + block_cost,
+                     {{"block", block_id}, {"faults", faults.size()}});
       }
     };
 
@@ -226,6 +272,7 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
                 finish_block();
                 continue;
               }
+              const SimTime map_t0 = start + record.phases.sum();
               const auto dmar =
                   dma_.map_range(first_page_of(block_id), kPagesPerVaBlock);
               record.phases.dma_map_ns += dmar.cost_ns;
@@ -234,6 +281,13 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
                   dmar.radix_nodes_allocated;
               record.counters.radix_grew |= dmar.radix_grew;
               block.set_dma_mapped();
+              if (detailed) {
+                tracer->span(tracks::kDriver, "dma_map", map_t0,
+                             start + record.phases.sum(),
+                             {{"block", block_id},
+                              {"pages", dmar.pages_mapped},
+                              {"radix_nodes", dmar.radix_nodes_allocated}});
+              }
             }
             pin_block(block_id, block, now, record);
             finish_block();
@@ -244,6 +298,10 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
             record.phases.throttle_ns += config_.thrash.throttle_delay_ns;
             thrash_->shield(block_id, now + config_.thrash.pin_lapse_ns);
             ++record.counters.thrash_throttles;
+            if (detailed) {
+              tracer->span(tracks::kDriver, "thrash_throttle", now,
+                           start + record.phases.sum(), {{"block", block_id}});
+            }
             break;  // then service normally
           case ThrashMitigation::kNone:
             break;  // detection only
@@ -259,9 +317,16 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     // Reactive density prefetch, VABlock-scoped (§5.2).
     VaBlockState::PageMask prefetch_mask;
     if (config_.prefetch_enabled) {
+      const SimTime prefetch_t0 = start + record.phases.sum();
       prefetch_mask = prefetcher.compute(block.gpu_resident(), faulted);
       record.phases.prefetch_ns +=
           config_.prefetch_compute_per_fault_ns * faults.size();
+      if (detailed) {
+        tracer->span(tracks::kDriver, "prefetch", prefetch_t0,
+                     start + record.phases.sum(),
+                     {{"block", block_id},
+                      {"pages", (prefetch_mask & ~faulted).count()}});
+      }
     }
     const VaBlockState::PageMask target =
         (faulted | prefetch_mask) & ~block.gpu_resident();
@@ -276,6 +341,7 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
         finish_block();
         continue;
       }
+      const SimTime map_t0 = start + record.phases.sum();
       const auto dma = dma_.map_range(first_page_of(block_id),
                                       kPagesPerVaBlock);
       record.phases.dma_map_ns += dma.cost_ns;
@@ -283,6 +349,13 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       record.counters.radix_nodes_allocated += dma.radix_nodes_allocated;
       record.counters.radix_grew |= dma.radix_grew;
       block.set_dma_mapped();
+      if (detailed) {
+        tracer->span(tracks::kDriver, "dma_map", map_t0,
+                     start + record.phases.sum(),
+                     {{"block", block_id},
+                      {"pages", dma.pages_mapped},
+                      {"radix_nodes", dma.radix_nodes_allocated}});
+      }
     }
 
     // GPU backing; eviction may run inside.
@@ -300,10 +373,26 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     // the host page table on the fault path (§4.4).
     if (block.cpu_mapped_count() > 0) {
       const std::uint32_t mapped = block.cpu_mapped_count();
-      record.phases.unmap_ns +=
-          config_.unmap.cost(mapped, block.cpu_sharers());
+      const CpuThreadMask sharers = block.cpu_sharers();
+      const auto unmap_parts = config_.unmap.breakdown(mapped, sharers);
+      const SimTime unmap_t0 = start + record.phases.sum();
+      record.phases.unmap_ns += unmap_parts.total();
       ++record.counters.unmap_calls;
       record.counters.pages_unmapped += space_.unmap_block_cpu(block_id);
+      if (detailed) {
+        tracer->span(tracks::kDriver, "unmap", unmap_t0,
+                     start + record.phases.sum(),
+                     {{"block", block_id},
+                      {"pages", mapped},
+                      {"sharers", sharer_count(sharers)}});
+        if (unmap_parts.shootdown_ns > 0) {
+          // The cross-core IPI storm is the tail of the unmap call.
+          tracer->span(tracks::kDriver, "tlb_shootdown",
+                       unmap_t0 + unmap_parts.base_ns + unmap_parts.pte_ns,
+                       unmap_t0 + unmap_parts.total(),
+                       {{"extra_cores", sharer_count(sharers) - 1}});
+        }
+      }
     }
 
     // Partition target pages: host-backed pages migrate; the rest are
@@ -323,8 +412,14 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     if (fresh_chunk) {
       populate += static_cast<std::uint32_t>(migrate.size());
     }
+    const SimTime populate_t0 = start + record.phases.sum();
     record.phases.populate_ns += config_.per_page_populate_ns * populate;
     record.counters.pages_populated += populate;
+    if (detailed && populate > 0) {
+      tracer->span(tracks::kDriver, "populate", populate_t0,
+                   start + record.phases.sum(),
+                   {{"block", block_id}, {"pages", populate}});
+    }
 
     // Copy-engine migration, retried on transient transfer errors. If the
     // budget runs out the host-backed pages stay home (they re-fault after
@@ -332,12 +427,21 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     bool migrate_ok = true;
     if (!migrate.empty()) {
       if (attempt_with_retries(RetrySite::kTransfer, record)) {
+        const SimTime copy_t0 = start + record.phases.sum();
         const auto xfer =
             copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
         record.phases.transfer_ns += xfer.time_ns;
         record.counters.bytes_h2d += xfer.bytes;
         record.counters.pages_migrated +=
             static_cast<std::uint32_t>(migrate.size());
+        if (detailed) {
+          tracer->span(tracks::kDriver, "copy", copy_t0,
+                       start + record.phases.sum(),
+                       {{"block", block_id},
+                        {"pages", migrate.size()},
+                        {"dma_ops", xfer.dma_ops},
+                        {"bytes", xfer.bytes}});
+        }
       } else {
         migrate_ok = false;
         ++record.counters.service_aborts;
@@ -353,9 +457,15 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       block.set_gpu_resident(i);
       ++established;
     }
+    const SimTime pte_t0 = start + record.phases.sum();
     record.phases.pagetable_ns += config_.per_page_pte_ns * established;
     record.counters.pages_prefetched += static_cast<std::uint32_t>(
         (prefetch_mask & ~faulted).count());
+    if (detailed && established > 0) {
+      tracer->span(tracks::kDriver, "pagetable", pte_t0,
+                   start + record.phases.sum(),
+                   {{"block", block_id}, {"pages", established}});
+    }
 
     evictor_.touch(block_id);
     finish_block();
@@ -384,11 +494,41 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       for (const SimTime cost : block_costs) parallel_work += cost;
       jobs = split_by_share(parallel_work, sm_counts);
     }
-    critical_path = schedule_batch(critical_path, jobs,
-                                   config_.parallelism.workers)
-                        .duration_ns();
+    const BatchSchedule sched =
+        schedule_batch(critical_path, jobs, config_.parallelism.workers);
+    if (tracer && !jobs.empty()) {
+      // Reconstruct the worker Gantt chart from the same LPT assignment
+      // that sets the makespan: jobs run back to back on their worker,
+      // after the serial pre-replay prefix.
+      const LptAssignment assign =
+          lpt_assign(jobs, config_.parallelism.workers);
+      const SimTime serial_before =
+          sched.serial_ns > record.phases.replay_ns
+              ? sched.serial_ns - record.phases.replay_ns
+              : 0;
+      const bool per_block =
+          config_.parallelism.policy == ServicingPolicy::kPerVaBlock;
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const SimTime job_begin = start + serial_before + assign.start_of[j];
+        tracer->span(
+            tracks::kWorkerBase + assign.worker_of[j],
+            per_block ? "vablock" : "sm", job_begin, job_begin + jobs[j],
+            per_block ? TraceArgs{{"block", block_order[j]}}
+                      : TraceArgs{{"job", j}});
+      }
+    }
+    critical_path = sched.duration_ns();
   }
   record.end_ns = start + critical_path;
+  if (tracer) {
+    tracer->span(tracks::kDriver, "replay",
+                 record.end_ns - record.phases.replay_ns, record.end_ns);
+    tracer->span(tracks::kDriver, "batch", start, record.end_ns,
+                 {{"batch", batch_id},
+                  {"raw_faults", record.counters.raw_faults},
+                  {"unique_faults", record.counters.unique_faults},
+                  {"vablocks", record.counters.vablocks_touched}});
+  }
   return record;
 }
 

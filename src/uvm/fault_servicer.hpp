@@ -39,6 +39,7 @@
 #include "gpu/gpu_memory.hpp"
 #include "hostos/dma.hpp"
 #include "interconnect/copy_engine.hpp"
+#include "obs/obs.hpp"
 #include "uvm/batch.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
@@ -53,7 +54,7 @@ class FaultServicer {
   FaultServicer(const DriverConfig& config, VaSpace& space, GpuMemory& memory,
                 DmaMapper& dma, CopyEngine& copy, Evictor& evictor,
                 std::uint32_t num_sms, FaultInjector* injector = nullptr,
-                ThrashingDetector* thrash = nullptr);
+                ThrashingDetector* thrash = nullptr, Obs obs = {});
 
   /// Service one batch starting at simulated time `start`. Updates all
   /// residency state and returns the complete batch record (end time =
@@ -86,6 +87,16 @@ class FaultServicer {
   void pin_block(VaBlockId id, VaBlockState& block, SimTime now,
                  BatchRecord& record);
 
+  /// Whether the per-phase span timeline is valid: each charge into
+  /// BatchPhaseTimes advances wall-clock only when servicing is serial and
+  /// host-OS ops are on the critical path. Under parallel or async modes
+  /// the batch's end time is not start + phases.sum(), so only the batch
+  /// envelope, fetch/dedup prefix, worker jobs, and replay are emitted.
+  bool detailed_trace() const noexcept {
+    return obs_.tracer != nullptr && !config_.parallelism.active() &&
+           !config_.async_host_ops;
+  }
+
   const DriverConfig& config_;
   VaSpace& space_;
   GpuMemory& memory_;
@@ -95,6 +106,7 @@ class FaultServicer {
   std::uint32_t num_sms_;
   FaultInjector* injector_;          // may be null (no injection)
   ThrashingDetector* thrash_;        // may be null (no detection)
+  Obs obs_;                          // null members = no recording
   std::uint64_t total_evictions_ = 0;
 };
 

@@ -10,6 +10,7 @@ LptAssignment lpt_assign(const std::vector<SimTime>& jobs, unsigned workers) {
   LptAssignment out;
   out.load.assign(workers, 0);
   out.worker_of.assign(jobs.size(), 0);
+  out.start_of.assign(jobs.size(), 0);
   if (jobs.empty()) return out;
 
   // Stable descending order over original indices: equal-length jobs keep
@@ -25,6 +26,7 @@ LptAssignment lpt_assign(const std::vector<SimTime>& jobs, unsigned workers) {
     const auto it = std::min_element(out.load.begin(), out.load.end());
     const auto worker =
         static_cast<std::uint32_t>(std::distance(out.load.begin(), it));
+    out.start_of[job] = *it;  // jobs run back to back on their worker
     *it += jobs[job];
     out.worker_of[job] = worker;
   }

@@ -28,6 +28,8 @@ struct LptAssignment {
   SimTime makespan = 0;                   // max per-worker load
   std::vector<SimTime> load;              // per-worker total, size = workers
   std::vector<std::uint32_t> worker_of;   // job index -> worker index
+  std::vector<SimTime> start_of;          // job index -> start offset on its
+                                          // worker (tracing/Gantt views)
 };
 
 /// Assign jobs to workers via LPT. `workers` is clamped to at least 1.

@@ -7,8 +7,9 @@ namespace uvmsim {
 
 UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
                      std::uint32_t num_sms, PcieConfig pcie,
-                     FaultInjector* injector)
+                     FaultInjector* injector, Obs obs)
     : config_(std::move(config)),
+      obs_(obs),
       memory_(gpu_memory_bytes),
       pcie_(pcie),
       copy_(pcie_),
@@ -17,8 +18,11 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
                                                          : Evictor::Policy::kFifo),
       thrash_(config_.thrash),
       servicer_(config_, space_, memory_, dma_, copy_, evictor_, num_sms,
-                injector, &thrash_),
-      effective_batch_size_(config_.batch_size) {}
+                injector, &thrash_, obs),
+      effective_batch_size_(config_.batch_size) {
+  copy_.set_obs(obs_);
+  dma_.set_obs(obs_);
+}
 
 const AllocationInfo& UvmDriver::managed_alloc(std::uint64_t bytes,
                                                std::string name,
@@ -53,8 +57,80 @@ const BatchRecord& UvmDriver::handle_batch(const std::vector<FaultRecord>& raw,
     }
   }
 
+  if (obs_.any()) {
+    if (obs_.tracer && record.counters.buffer_dropped > 0) {
+      obs_.tracer->instant(tracks::kDriver, "buffer_overflow", record.start_ns,
+                           {{"dropped", record.counters.buffer_dropped}});
+    }
+    record_batch_metrics(record);
+  }
+
   log_.push_back(std::move(record));
   return log_.back();
+}
+
+void UvmDriver::record_batch_metrics(const BatchRecord& record) {
+  MetricsRegistry* const m = obs_.metrics;
+  if (!m) return;
+
+  m->add("driver.batches");
+  m->add("driver.batch_time_ns", record.duration_ns());
+  m->set_gauge("driver.effective_batch_size", effective_batch_size_);
+
+  // Every BatchCounters field, under the same name. The differential test
+  // (tests/test_metrics.cpp) asserts these totals equal the batch-log sums
+  // field by field — add a counter here when adding one to BatchCounters.
+  const BatchCounters& c = record.counters;
+  m->add("driver.raw_faults", c.raw_faults);
+  m->add("driver.unique_faults", c.unique_faults);
+  m->add("driver.dup_same_utlb", c.dup_same_utlb);
+  m->add("driver.dup_cross_utlb", c.dup_cross_utlb);
+  m->add("driver.read_faults", c.read_faults);
+  m->add("driver.write_faults", c.write_faults);
+  m->add("driver.prefetch_faults", c.prefetch_faults);
+  m->add("driver.vablocks_touched", c.vablocks_touched);
+  m->add("driver.first_touch_vablocks", c.first_touch_vablocks);
+  m->add("driver.pages_migrated", c.pages_migrated);
+  m->add("driver.pages_populated", c.pages_populated);
+  m->add("driver.pages_prefetched", c.pages_prefetched);
+  m->add("driver.bytes_h2d", c.bytes_h2d);
+  m->add("driver.bytes_d2h", c.bytes_d2h);
+  m->add("driver.evictions", c.evictions);
+  m->add("driver.unmap_calls", c.unmap_calls);
+  m->add("driver.pages_unmapped", c.pages_unmapped);
+  m->add("driver.dma_pages_mapped", c.dma_pages_mapped);
+  m->add("driver.radix_nodes_allocated", c.radix_nodes_allocated);
+  m->add("driver.radix_growth_batches", c.radix_grew ? 1 : 0);
+  m->add("driver.transfer_errors", c.transfer_errors);
+  m->add("driver.transfer_retries", c.transfer_retries);
+  m->add("driver.dma_map_errors", c.dma_map_errors);
+  m->add("driver.dma_map_retries", c.dma_map_retries);
+  m->add("driver.service_aborts", c.service_aborts);
+  m->add("driver.thrash_pins", c.thrash_pins);
+  m->add("driver.thrash_throttles", c.thrash_throttles);
+  m->add("driver.buffer_dropped", c.buffer_dropped);
+
+  // Every phase timer, as accumulated ns. Same contract as the counters.
+  const BatchPhaseTimes& p = record.phases;
+  m->add("phase.fetch_ns", p.fetch_ns);
+  m->add("phase.dedup_ns", p.dedup_ns);
+  m->add("phase.vablock_ns", p.vablock_ns);
+  m->add("phase.eviction_ns", p.eviction_ns);
+  m->add("phase.unmap_ns", p.unmap_ns);
+  m->add("phase.populate_ns", p.populate_ns);
+  m->add("phase.dma_map_ns", p.dma_map_ns);
+  m->add("phase.prefetch_ns", p.prefetch_ns);
+  m->add("phase.transfer_ns", p.transfer_ns);
+  m->add("phase.pagetable_ns", p.pagetable_ns);
+  m->add("phase.replay_ns", p.replay_ns);
+  m->add("phase.backoff_ns", p.backoff_ns);
+  m->add("phase.throttle_ns", p.throttle_ns);
+
+  // Batch-shape distributions (Figure 6-style analyses).
+  m->observe("batch.duration_ns", record.duration_ns());
+  m->observe("batch.raw_faults", c.raw_faults);
+  m->observe("batch.unique_faults", c.unique_faults);
+  m->observe("batch.vablocks_touched", c.vablocks_touched);
 }
 
 }  // namespace uvmsim

@@ -16,6 +16,7 @@
 #include "hostos/dma.hpp"
 #include "interconnect/copy_engine.hpp"
 #include "interconnect/pcie.hpp"
+#include "obs/obs.hpp"
 #include "uvm/batch.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
@@ -28,10 +29,13 @@ class UvmDriver final : public ResidencyOracle {
  public:
   /// `injector` (optional) is the cross-layer fault-injection schedule
   /// shared with the GPU engine and the System loop; the driver consults
-  /// it for transient copy/DMA errors on the fault path.
+  /// it for transient copy/DMA errors on the fault path. `obs` (optional)
+  /// carries the System's tracing/metrics sinks; it is forwarded to the
+  /// servicer, copy engine, and DMA mapper, and the driver itself mirrors
+  /// every BatchRecord into the registry after each batch.
   UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
             std::uint32_t num_sms, PcieConfig pcie = {},
-            FaultInjector* injector = nullptr);
+            FaultInjector* injector = nullptr, Obs obs = {});
 
   /// cudaMallocManaged equivalent: reserve managed pages and apply the
   /// host initialization pattern (plus optional cudaMemAdvise placement).
@@ -100,7 +104,14 @@ class UvmDriver final : public ResidencyOracle {
   SimTime async_background_time() const noexcept { return async_ns_; }
 
  private:
+  /// Mirror one completed batch into the metrics registry: every
+  /// BatchCounters field as a "driver.*" counter (differential-testable
+  /// against the batch log), every phase timer as a "phase.*_ns" counter,
+  /// and per-batch shape distributions as histograms.
+  void record_batch_metrics(const BatchRecord& record);
+
   DriverConfig config_;
+  Obs obs_;
   VaSpace space_;
   GpuMemory memory_;
   PcieLink pcie_;

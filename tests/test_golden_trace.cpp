@@ -31,6 +31,12 @@ constexpr const char* kRegenerate =
     "build/tools/uvmsim_cli run --workload vecadd-paged --gpu-mb 256 "
     "--log tests/golden/vecadd_paged_titanv256.batchlog";
 
+constexpr const char* kTraceFixture =
+    UVMSIM_GOLDEN_DIR "/vecadd_paged_titanv256.trace.json";
+constexpr const char* kTraceRegenerate =
+    "build/tools/uvmsim_cli trace --workload vecadd-paged --gpu-mb 256 "
+    "--out tests/golden/vecadd_paged_titanv256.trace.json";
+
 /// The run the fixture captures: defaults all the way down.
 RunResult golden_run() {
   System system(small_config(256));
@@ -156,6 +162,62 @@ TEST(GoldenTrace, VecaddPagedMatchesFixture) {
   }
   EXPECT_EQ(mismatched_batches, 0u)
       << "behaviour changed; if intended, regenerate with: " << kRegenerate;
+}
+
+TEST(GoldenTrace, VecaddPagedChromeTraceMatchesFixture) {
+  // The same canonical run, traced: the emitted Chrome trace-event JSON
+  // is pinned byte for byte. Catches any drift in span placement, track
+  // assignment, event ordering, or the serializer itself.
+  std::ifstream in(kTraceFixture, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden trace fixture " << kTraceFixture
+                  << "\nregenerate with: " << kTraceRegenerate;
+  std::ostringstream fixture;
+  fixture << in.rdbuf();
+
+  SystemConfig cfg = small_config(256);
+  cfg.obs.trace = true;
+  System system(cfg);
+  system.run(make_vecadd_paged());
+  const std::string got = trace_to_json(system.tracer());
+
+  if (got != fixture.str()) {
+    // Report the first diverging line, not a wall of JSON.
+    std::istringstream want_in(fixture.str());
+    std::istringstream got_in(got);
+    std::string want_line, got_line;
+    std::size_t line = 1;
+    while (std::getline(want_in, want_line)) {
+      if (!std::getline(got_in, got_line)) {
+        ADD_FAILURE() << "trace truncated at fixture line " << line
+                      << "; if intended, regenerate with: "
+                      << kTraceRegenerate;
+        return;
+      }
+      if (want_line != got_line) {
+        ADD_FAILURE() << "trace diverges at line " << line << ":\n  golden: "
+                      << want_line << "\n  run:    " << got_line
+                      << "\nif intended, regenerate with: "
+                      << kTraceRegenerate;
+        return;
+      }
+      ++line;
+    }
+    ADD_FAILURE() << "trace has extra output after fixture line " << line
+                  << "; if intended, regenerate with: " << kTraceRegenerate;
+  }
+}
+
+TEST(GoldenTrace, TraceFixtureParsesAsChromeTraceJson) {
+  // The checked-in fixture must stay loadable by the log_io reader (the
+  // same subset Perfetto accepts).
+  std::ifstream in(kTraceFixture);
+  ASSERT_TRUE(in) << "missing golden trace fixture " << kTraceFixture;
+  TraceParseResult parsed;
+  ASSERT_TRUE(read_trace_json(in, parsed))
+      << "fixture is not valid trace JSON; regenerate with: "
+      << kTraceRegenerate;
+  EXPECT_FALSE(parsed.events.empty());
+  EXPECT_FALSE(parsed.track_names.empty());
 }
 
 TEST(GoldenTrace, FixtureRoundTripsThroughLogIo) {

@@ -4,8 +4,6 @@
 // model, which changes simulated time on every batch.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "analysis/log_io.hpp"
 #include "core/system.hpp"
 #include "test_util.hpp"
@@ -13,6 +11,9 @@
 namespace uvmsim {
 namespace {
 
+using testutil::FuzzCase;
+using testutil::make_fuzz_case;
+using testutil::make_injected_fuzz_case;
 using testutil::small_config;
 
 constexpr std::uint64_t kSeeds = 20;
@@ -20,60 +21,6 @@ constexpr std::uint64_t kSeeds = 20;
 const std::vector<ServicingPolicy> kPolicies{
     ServicingPolicy::kSerial, ServicingPolicy::kPerVaBlock,
     ServicingPolicy::kPerSm};
-
-/// One randomized scenario derived deterministically from `seed`.
-struct FuzzCase {
-  WorkloadSpec spec;
-  SystemConfig config;  // parallelism left at serial; tests override
-};
-
-FuzzCase make_case(std::uint64_t seed) {
-  std::mt19937_64 rng(0x1429A11DULL ^ (seed * 0x9E3779B97F4A7C15ULL));
-  FuzzCase c{make_stream_triad(1 << 14), small_config()};
-
-  switch (rng() % 4) {
-    case 0:
-      c.spec = make_random((4ULL + rng() % 28) << 20, rng());
-      break;
-    case 1:
-      c.spec = make_stream_triad(1ULL << (13 + rng() % 4),
-                                 1 + static_cast<std::uint32_t>(rng() % 2));
-      break;
-    case 2:
-      c.spec = make_vecadd_coalesced(1ULL << (13 + rng() % 4));
-      break;
-    default:
-      c.spec = make_vecadd_paged(32, 1 + static_cast<std::uint32_t>(rng() % 3));
-      break;
-  }
-  c.config.seed = rng();
-  c.config.driver.prefetch_enabled = rng() % 2 == 0;
-  c.config.driver.big_page_promotion = c.config.driver.prefetch_enabled;
-  c.config.driver.batch_size = 64u << (rng() % 3);
-  c.config.driver.parallelism.workers =
-      2u << (rng() % 3);  // 2, 4, or 8 simulated driver threads
-  return c;
-}
-
-/// The same scenarios with the cross-layer fault injector armed. The
-/// draws extending `make_case` come from a separate stream so the base
-/// cases above stay byte-for-byte what they were.
-FuzzCase make_injected_case(std::uint64_t seed) {
-  FuzzCase c = make_case(seed);
-  std::mt19937_64 rng(0xFA17B07ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
-  auto& inj = c.config.driver.inject;
-  inj.enabled = true;
-  inj.seed = rng();
-  inj.transfer_error_prob = 0.05 * static_cast<double>(rng() % 4);   // 0..0.15
-  inj.dma_map_error_prob = 0.05 * static_cast<double>(rng() % 4);
-  inj.interrupt_delay_prob = 0.05 * static_cast<double>(rng() % 3);
-  inj.interrupt_loss_prob = 0.02 * static_cast<double>(rng() % 2);
-  inj.storm_prob = 0.05 * static_cast<double>(rng() % 3);
-  inj.storm_faults = 512u << (rng() % 3);
-  c.config.driver.retry.max_attempts =
-      2 + static_cast<std::uint32_t>(rng() % 3);
-  return c;
-}
 
 /// Conservation checks every run must satisfy, any policy, any seed.
 void check_run_invariants(const System& system, const SystemConfig& cfg,
@@ -112,7 +59,7 @@ std::uint64_t total_pages_migrated(const RunResult& result) {
 
 TEST(Invariants, FuzzedWorkloadsConserveAcrossPoliciesAndSeeds) {
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
-    const FuzzCase c = make_case(seed);
+    const FuzzCase c = make_fuzz_case(seed);
     std::vector<std::uint64_t> migrated;
     for (const auto policy : kPolicies) {
       SystemConfig cfg = c.config;
@@ -143,7 +90,7 @@ TEST(Invariants, InjectedFaultsConserveAndBalanceAcrossSeeds) {
   // invariants intact, and the injected-error books balance exactly
   // against the batch log.
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
-    const FuzzCase c = make_injected_case(seed);
+    const FuzzCase c = make_injected_fuzz_case(seed);
     System system(c.config);
     const auto result = system.run(c.spec);
     ASSERT_GT(result.total_faults, 0u) << "seed " << seed;

@@ -152,5 +152,88 @@ TEST(Histogram, ZeroBinsIsSafe) {
   EXPECT_EQ(h.total(), 1u);
 }
 
+// Regression: a tail percentile landing in a bucket that holds a single
+// sample must interpolate to the bucket midpoint, not collapse to the
+// bucket lower bound (which systematically underestimates p99).
+TEST(Histogram, PercentileSingleElementBucketIsNotLowerBound) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 98; ++i) h.add(5.0);  // ranks 0..97 in bucket [0, 10)
+  h.add(85.0);                              // rank 98, alone in [80, 90)
+  h.add(95.0);                              // rank 99, alone in [90, 100)
+  // rank(p99) = 0.99 * 99 = 98.01 -> inside the single-element [80, 90)
+  // bucket; interpolation places it just past that sample's midpoint.
+  const double p99 = h.percentile(0.99);
+  EXPECT_GT(p99, 80.0) << "p99 collapsed to the tail bucket's lower bound";
+  EXPECT_NEAR(p99, 85.1, 1e-9);
+  // The max lands mid-bucket too, never on the 90.0 edge.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 95.0);
+  // The bulk interpolates within its own bucket: rank 49.5 of the 98
+  // samples filling [0, 10) sits at the (49.5 + 0.5)/98 fraction.
+  EXPECT_NEAR(h.percentile(0.5), 10.0 * 50.0 / 98.0, 1e-9);
+}
+
+TEST(Histogram, PercentileEdgesAndClippedSamples) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty
+  h.add(-5.0);   // underflow pins to lo
+  h.add(3.0);    // bucket [2, 4)
+  h.add(50.0);   // overflow pins to hi
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Log2Histogram, BucketBoundsAndCounts) {
+  Log2Histogram h;
+  h.add(0);   // bucket 0: [0, 1)
+  h.add(1);   // bucket 1: [1, 2)
+  h.add(2);   // bucket 2: [2, 4)
+  h.add(3);   // bucket 2
+  h.add(4);   // bucket 3: [4, 8)
+  h.add(1024);  // bucket 11
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.sum(), 1034u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_EQ(h.used_buckets(), 12u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(2), 4u);
+}
+
+// The same regression as Histogram::percentile, on the log2 buckets the
+// MetricsRegistry records: the lone sample in the top bucket must report
+// mid-bucket, not the power-of-two lower edge.
+TEST(Log2Histogram, PercentileSingleElementBucketInterpolates) {
+  Log2Histogram h;
+  for (int i = 0; i < 98; ++i) h.add(3);  // ranks 0..97 in bucket [2, 4)
+  h.add(40);                              // rank 98, alone in [32, 64)
+  h.add(100);                             // rank 99, alone in [64, 128)
+  // rank(p99) = 98.01 -> inside the single-element [32, 64) bucket.
+  const double p99 = h.percentile(0.99);
+  EXPECT_GT(p99, 32.0) << "p99 collapsed to the tail bucket's lower bound";
+  EXPECT_NEAR(p99, 32.0 + 32.0 * 0.51, 1e-9);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 96.0);  // midpoint of [64, 128)
+  EXPECT_NEAR(h.percentile(0.5), 2.0 + 2.0 * 50.0 / 98.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Log2Histogram{}.percentile(0.99), 0.0);
+}
+
+TEST(Log2Histogram, MergeMatchesSequential) {
+  Xoshiro256 rng(7);
+  Log2Histogram whole, a, b;
+  for (int i = 0; i < 400; ++i) {
+    const auto v = rng.next() % 100000;
+    whole.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a, whole);
+  EXPECT_DOUBLE_EQ(a.percentile(0.95), whole.percentile(0.95));
+}
+
 }  // namespace
 }  // namespace uvmsim

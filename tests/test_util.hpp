@@ -1,6 +1,8 @@
 // Shared helpers for the test suite.
 #pragma once
 
+#include <random>
+
 #include "core/system.hpp"
 
 namespace uvmsim::testutil {
@@ -9,6 +11,62 @@ namespace uvmsim::testutil {
 /// memory scaled down so end-to-end runs finish in milliseconds.
 inline SystemConfig small_config(std::uint64_t gpu_mb = 256) {
   return presets::scaled_titan_v(gpu_mb);
+}
+
+/// One randomized scenario derived deterministically from `seed`, shared
+/// by the property suites (invariants, tracer, metrics) so they all fuzz
+/// the exact same scenario space.
+struct FuzzCase {
+  WorkloadSpec spec;
+  SystemConfig config;  // parallelism left at serial; tests override
+};
+
+inline FuzzCase make_fuzz_case(std::uint64_t seed) {
+  std::mt19937_64 rng(0x1429A11DULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  FuzzCase c{make_stream_triad(1 << 14), small_config()};
+
+  switch (rng() % 4) {
+    case 0:
+      c.spec = make_random((4ULL + rng() % 28) << 20, rng());
+      break;
+    case 1:
+      c.spec = make_stream_triad(1ULL << (13 + rng() % 4),
+                                 1 + static_cast<std::uint32_t>(rng() % 2));
+      break;
+    case 2:
+      c.spec = make_vecadd_coalesced(1ULL << (13 + rng() % 4));
+      break;
+    default:
+      c.spec = make_vecadd_paged(32, 1 + static_cast<std::uint32_t>(rng() % 3));
+      break;
+  }
+  c.config.seed = rng();
+  c.config.driver.prefetch_enabled = rng() % 2 == 0;
+  c.config.driver.big_page_promotion = c.config.driver.prefetch_enabled;
+  c.config.driver.batch_size = 64u << (rng() % 3);
+  c.config.driver.parallelism.workers =
+      2u << (rng() % 3);  // 2, 4, or 8 simulated driver threads
+  return c;
+}
+
+/// The same scenarios with the cross-layer fault injector armed. The
+/// draws extending `make_fuzz_case` come from a separate stream so the
+/// base cases above stay byte-for-byte what they were.
+inline FuzzCase make_injected_fuzz_case(std::uint64_t seed) {
+  FuzzCase c = make_fuzz_case(seed);
+  std::mt19937_64 rng(0xFA17B07ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  auto& inj = c.config.driver.inject;
+  inj.enabled = true;
+  inj.seed = rng();
+  inj.transfer_error_prob = 0.05 * static_cast<double>(rng() % 4);   // 0..0.15
+  inj.dma_map_error_prob = 0.05 * static_cast<double>(rng() % 4);
+  inj.interrupt_delay_prob = 0.05 * static_cast<double>(rng() % 3);
+  inj.interrupt_loss_prob = 0.02 * static_cast<double>(rng() % 2);
+  inj.storm_prob = 0.05 * static_cast<double>(rng() % 3);
+  inj.storm_faults = 512u << (rng() % 3);
+  c.config.driver.retry.max_attempts =
+      2 + static_cast<std::uint32_t>(rng() % 3);
+  return c;
 }
 
 }  // namespace uvmsim::testutil

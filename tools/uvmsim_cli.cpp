@@ -5,7 +5,8 @@
 //
 //   uvmsim_cli run --workload stream --elements 1048576 --gpu-mb 64 \
 //       --no-prefetch --batch-size 512 --log out.batchlog
-//   uvmsim_cli analyze out.batchlog
+//   uvmsim_cli trace --workload vecadd-paged --gpu-mb 256 --out trace.json
+//   uvmsim_cli analyze out.batchlog --phases
 //   uvmsim_cli list
 #include <cstdio>
 #include <cstring>
@@ -112,6 +113,9 @@ int cmd_list() {
   std::printf("config flags: --gpu-mb N --batch-size N --no-prefetch "
               "--no-promotion --no-flush --fifo-evict --adaptive-batch "
               "--async-host-ops --pin-host --log FILE\n");
+  std::printf("observability: --trace [FILE] (Chrome trace JSON, "
+              "Perfetto-loadable) --metrics [FILE] (registry snapshot "
+              "JSON); `trace` subcommand = run + --trace, --out FILE\n");
   std::printf("driver parallelism (paper §6): --service-policy "
               "serial|vablock|sm --service-workers K\n");
   std::printf("fault injection: --inject --inject-seed N "
@@ -154,6 +158,15 @@ int cmd_run(const Args& args) {
   cfg.driver.parallelism.workers =
       static_cast<std::uint32_t>(args.get_u64("service-workers", 1));
   cfg.seed = args.get_u64("seed", cfg.seed);
+
+  // A bare --trace/--metrics enables the sink without writing a file
+  // (overhead checks); a value is the output path.
+  const std::string trace_arg = args.get("trace", "");
+  const std::string metrics_arg = args.get("metrics", "");
+  const std::string trace_path = trace_arg == "1" ? "" : trace_arg;
+  const std::string metrics_path = metrics_arg == "1" ? "" : metrics_arg;
+  cfg.obs.trace = !trace_arg.empty();
+  cfg.obs.metrics = !metrics_arg.empty();
 
   if (args.flag("inject")) {
     auto& inj = cfg.driver.inject;
@@ -249,10 +262,40 @@ int cmd_run(const Args& args) {
     std::printf("batch log written to %s (%zu records)\n", path.c_str(),
                 result.log.size());
   }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   trace_path.c_str());
+      return 3;
+    }
+    write_trace_json(out, system.tracer());
+    std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                system.tracer().size());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   metrics_path.c_str());
+      return 3;
+    }
+    write_metrics_json(out, system.metrics());
+    std::printf("metrics written to %s (%zu counters)\n",
+                metrics_path.c_str(), system.metrics().counters().size());
+  }
   return 0;
 }
 
-int cmd_analyze(const std::string& path) {
+/// `trace WORKLOAD-FLAGS --out FILE`: a run with tracing on, defaulting
+/// the trace path so the common case is one flag shorter.
+int cmd_trace(Args args) {
+  args.named["trace"] = args.get("out", "trace.json");
+  args.named.erase("out");
+  return cmd_run(args);
+}
+
+int cmd_analyze(const std::string& path, const Args& args) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -321,6 +364,27 @@ int cmd_analyze(const std::string& path) {
                    fmt(static_cast<double>(robust.throttle_ns) / 1e6, 3)});
   }
   std::printf("%s", table.render().c_str());
+
+  if (args.flag("phases")) {
+    const auto rows = phase_distributions(log);
+    TablePrinter pt({"phase", "total ms", "share", "mean us", "p50 us",
+                     "p95 us", "p99 us", "max us"});
+    const double grand = static_cast<double>(phases.sum());
+    for (const auto& row : rows) {
+      pt.add_row({row.name,
+                  fmt(static_cast<double>(row.total_ns) / 1e6, 3),
+                  fmt_pct(grand > 0
+                              ? static_cast<double>(row.total_ns) / grand
+                              : 0),
+                  fmt(row.mean_ns / 1e3, 2),
+                  fmt(row.p50_ns / 1e3, 2),
+                  fmt(row.p95_ns / 1e3, 2),
+                  fmt(row.p99_ns / 1e3, 2),
+                  fmt(static_cast<double>(row.max_ns) / 1e3, 2)});
+    }
+    std::printf("\nper-batch phase breakdown (%zu batches):\n%s",
+                log.size(), pt.render().c_str());
+  }
   return 0;
 }
 
@@ -329,18 +393,21 @@ int cmd_analyze(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s run [flags] | analyze FILE | list\n", argv[0]);
+                 "usage: %s run [flags] | trace [flags] --out FILE | "
+                 "analyze FILE [--phases] | list\n",
+                 argv[0]);
     return 1;
   }
   const std::string command = argv[1];
   if (command == "list") return cmd_list();
   if (command == "run") return cmd_run(parse_args(argc, argv, 2));
+  if (command == "trace") return cmd_trace(parse_args(argc, argv, 2));
   if (command == "analyze") {
-    if (argc < 3) {
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
       std::fprintf(stderr, "analyze requires a batch-log file\n");
       return 1;
     }
-    return cmd_analyze(argv[2]);
+    return cmd_analyze(argv[2], parse_args(argc, argv, 3));
   }
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
