@@ -81,6 +81,7 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64(out, "replay", p.replay_ns);
   append_u64_nonzero(out, "backoff", p.backoff_ns);
   append_u64_nonzero(out, "throttle", p.throttle_ns);
+  append_u64_nonzero(out, "counter", p.counter_ns);
 
   const auto& c = record.counters;
   append_u64(out, "raw", c.raw_faults);
@@ -111,6 +112,11 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64_nonzero(out, "pins", c.thrash_pins);
   append_u64_nonzero(out, "throttles", c.thrash_throttles);
   append_u64_nonzero(out, "bufdrop", c.buffer_dropped);
+  append_u64_nonzero(out, "ctrnotif", c.ctr_notifications);
+  append_u64_nonzero(out, "ctrdrop", c.ctr_dropped);
+  append_u64_nonzero(out, "ctrpromoted", c.ctr_pages_promoted);
+  append_u64_nonzero(out, "ctrunpin", c.ctr_unpins);
+  append_u64_nonzero(out, "ctrevict", c.ctr_evictions);
 
   append_list(out, "sm", record.faults_per_sm,
               [](std::uint16_t v) { return std::to_string(v); });
@@ -203,6 +209,7 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "replay") p.replay_ns = u;
       else if (key == "backoff") p.backoff_ns = u;
       else if (key == "throttle") p.throttle_ns = u;
+      else if (key == "counter") p.counter_ns = u;
       else if (key == "raw") c.raw_faults = static_cast<std::uint32_t>(u);
       else if (key == "uniq") c.unique_faults = static_cast<std::uint32_t>(u);
       else if (key == "dup1") c.dup_same_utlb = static_cast<std::uint32_t>(u);
@@ -231,6 +238,11 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "pins") c.thrash_pins = static_cast<std::uint32_t>(u);
       else if (key == "throttles") c.thrash_throttles = static_cast<std::uint32_t>(u);
       else if (key == "bufdrop") c.buffer_dropped = static_cast<std::uint32_t>(u);
+      else if (key == "ctrnotif") c.ctr_notifications = static_cast<std::uint32_t>(u);
+      else if (key == "ctrdrop") c.ctr_dropped = static_cast<std::uint32_t>(u);
+      else if (key == "ctrpromoted") c.ctr_pages_promoted = static_cast<std::uint32_t>(u);
+      else if (key == "ctrunpin") c.ctr_unpins = static_cast<std::uint32_t>(u);
+      else if (key == "ctrevict") c.ctr_evictions = static_cast<std::uint32_t>(u);
       // Unknown numeric keys are tolerated for forward compatibility.
     } else {
       return false;

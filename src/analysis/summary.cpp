@@ -78,6 +78,7 @@ BatchPhaseTimes phase_totals(const BatchLog& log) {
     total.replay_ns += rec.phases.replay_ns;
     total.backoff_ns += rec.phases.backoff_ns;
     total.throttle_ns += rec.phases.throttle_ns;
+    total.counter_ns += rec.phases.counter_ns;
   }
   return total;
 }
@@ -99,6 +100,7 @@ std::vector<PhaseDistribution> phase_distributions(const BatchLog& log) {
           {"replay", &BatchPhaseTimes::replay_ns},
           {"backoff", &BatchPhaseTimes::backoff_ns},
           {"throttle", &BatchPhaseTimes::throttle_ns},
+          {"counter", &BatchPhaseTimes::counter_ns},
       };
 
   std::vector<PhaseDistribution> rows;
@@ -151,6 +153,19 @@ RobustnessTotals robustness_totals(const BatchLog& log) {
     totals.buffer_dropped += rec.counters.buffer_dropped;
     totals.backoff_ns += rec.phases.backoff_ns;
     totals.throttle_ns += rec.phases.throttle_ns;
+  }
+  return totals;
+}
+
+CounterTotals counter_totals(const BatchLog& log) {
+  CounterTotals totals;
+  for (const auto& rec : log) {
+    totals.notifications += rec.counters.ctr_notifications;
+    totals.dropped += rec.counters.ctr_dropped;
+    totals.pages_promoted += rec.counters.ctr_pages_promoted;
+    totals.unpins += rec.counters.ctr_unpins;
+    totals.evictions += rec.counters.ctr_evictions;
+    totals.counter_ns += rec.phases.counter_ns;
   }
   return totals;
 }

@@ -41,7 +41,7 @@ BatchPhaseTimes phase_totals(const BatchLog& log);
 /// Per-phase distribution across batches (the `analyze --phases` view):
 /// one row per BatchPhaseTimes field, in declaration order, with the
 /// phase's total, mean, and exact sorted-sample percentiles of the
-/// per-batch values. Empty log yields 13 all-zero rows.
+/// per-batch values. Empty log yields 14 all-zero rows.
 struct PhaseDistribution {
   const char* name = "";  // stable phase key ("fetch", "dedup", ...)
   SimTime total_ns = 0;
@@ -84,5 +84,23 @@ struct RobustnessTotals {
   }
 };
 RobustnessTotals robustness_totals(const BatchLog& log);
+
+/// Access-counter channel totals: notification servicing and counter-
+/// driven migration activity. All-zero for a fault-only run (counters
+/// disabled — the default).
+struct CounterTotals {
+  std::uint64_t notifications = 0;   // serviced by the driver
+  std::uint64_t dropped = 0;         // notification-buffer overflow drops
+  std::uint64_t pages_promoted = 0;  // host -> device via counter path
+  std::uint64_t unpins = 0;          // thrash pins lifted by promotion
+  std::uint64_t evictions = 0;       // victims evicted for promotions
+  SimTime counter_ns = 0;            // total servicing-pass time
+
+  bool any() const noexcept {
+    return notifications || dropped || pages_promoted || unpins ||
+           evictions || counter_ns;
+  }
+};
+CounterTotals counter_totals(const BatchLog& log);
 
 }  // namespace uvmsim

@@ -17,7 +17,8 @@ FaultInjector::FaultInjector(const FaultInjectConfig& config)
       transfer_rng_(site_stream(config.seed, 1)),
       dma_rng_(site_stream(config.seed, 2)),
       irq_rng_(site_stream(config.seed, 3)),
-      storm_rng_(site_stream(config.seed, 4)) {}
+      storm_rng_(site_stream(config.seed, 4)),
+      counter_rng_(site_stream(config.seed, 5)) {}
 
 bool FaultInjector::transfer_error() {
   if (!config_.enabled || config_.transfer_error_prob <= 0.0) return false;
@@ -51,6 +52,13 @@ std::uint32_t FaultInjector::storm_faults() {
   if (!config_.enabled || config_.storm_prob <= 0.0) return 0;
   if (!storm_rng_.bernoulli(config_.storm_prob)) return 0;
   return config_.storm_faults;
+}
+
+bool FaultInjector::counter_notification_loss() {
+  if (!config_.enabled || config_.counter_loss_prob <= 0.0) return false;
+  if (!counter_rng_.bernoulli(config_.counter_loss_prob)) return false;
+  ++counter_losses_;
+  return true;
 }
 
 }  // namespace uvmsim

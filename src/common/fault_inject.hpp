@@ -53,12 +53,17 @@ struct FaultInjectConfig {
   double storm_prob = 0.0;
   std::uint32_t storm_faults = 4096;
 
+  // Lost access-counter notifications (per threshold crossing): the GMMU
+  // write never reaches the notification buffer. Only consulted when the
+  // access-counter unit is wired up (gpu/access_counters.hpp).
+  double counter_loss_prob = 0.0;
+
   /// True when the injector can actually fire something.
   bool active() const noexcept {
     return enabled &&
            (transfer_error_prob > 0.0 || dma_map_error_prob > 0.0 ||
             interrupt_delay_prob > 0.0 || interrupt_loss_prob > 0.0 ||
-            storm_prob > 0.0);
+            storm_prob > 0.0 || counter_loss_prob > 0.0);
   }
 };
 
@@ -90,6 +95,9 @@ class FaultInjector {
     storm_faults_injected_ += n;
   }
 
+  /// Is this access-counter notification lost on its way to the buffer?
+  bool counter_notification_loss();
+
   // ---- Accounting (what the schedule actually fired) --------------------
   std::uint64_t transfer_errors_injected() const noexcept {
     return transfer_errors_;
@@ -102,6 +110,9 @@ class FaultInjector {
   std::uint64_t storm_faults_injected() const noexcept {
     return storm_faults_injected_;
   }
+  std::uint64_t counter_notifications_lost() const noexcept {
+    return counter_losses_;
+  }
 
  private:
   FaultInjectConfig config_;
@@ -111,12 +122,14 @@ class FaultInjector {
   Xoshiro256 dma_rng_;
   Xoshiro256 irq_rng_;
   Xoshiro256 storm_rng_;
+  Xoshiro256 counter_rng_;
 
   std::uint64_t transfer_errors_ = 0;
   std::uint64_t dma_errors_ = 0;
   std::uint64_t irq_delays_ = 0;
   std::uint64_t irq_losses_ = 0;
   std::uint64_t storm_faults_injected_ = 0;
+  std::uint64_t counter_losses_ = 0;
 };
 
 }  // namespace uvmsim

@@ -13,10 +13,24 @@ System::System(SystemConfig config)
       gpu_(config.gpu, config.seed) {
   gpu_.set_fault_injector(&injector_);
   gpu_.set_obs(obs_handle());
+  if (config_.driver.access_counters.enabled) {
+    // The driver programs the counter registers at init; the GPU engine
+    // feeds the unit at µTLB resolution and the driver services it after
+    // each fault batch. Disabled (the default) leaves every hook null.
+    const auto& ac = config_.driver.access_counters;
+    counters_ = std::make_unique<AccessCounterUnit>(
+        ac.granularity_pages, ac.threshold, ac.buffer_entries);
+    counters_->set_fault_injector(&injector_);
+    gpu_.set_access_counters(counters_.get());
+    driver_.set_access_counters(counters_.get());
+  }
   if (config_.obs.trace) {
     tracer_.set_track_name(tracks::kSim, "sim");
     tracer_.set_track_name(tracks::kDriver, "uvm driver");
     tracer_.set_track_name(tracks::kGpu, "gpu");
+    if (config_.driver.access_counters.enabled) {
+      tracer_.set_track_name(tracks::kCounters, "access counters");
+    }
     if (config_.driver.parallelism.active()) {
       for (unsigned k = 0; k < config_.driver.parallelism.workers; ++k) {
         tracer_.set_track_name(tracks::kWorkerBase + k,
@@ -64,6 +78,12 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   const std::uint64_t inj_xfer_before = injector_.transfer_errors_injected();
   const std::uint64_t inj_dma_before = injector_.dma_map_errors_injected();
   const std::uint64_t inj_storm_before = injector_.storm_faults_injected();
+  const std::uint64_t ctr_notif_before =
+      counters_ ? counters_->total_notifications() : 0;
+  const std::uint64_t ctr_dropped_before =
+      counters_ ? counters_->total_dropped_full() : 0;
+  const std::uint64_t ctr_lost_before =
+      injector_.counter_notifications_lost();
   std::uint64_t dropped_seen = dropped_before;
 
   Tracer* const tracer = config_.obs.trace ? &tracer_ : nullptr;
@@ -159,6 +179,28 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   }
 
   result.kernel_time_ns = now_ - t0;
+
+  // The kernel is done but the counter channel may not be: every fault is
+  // serviced, yet remote traffic from late GPU windows can leave the
+  // notification buffer non-empty with no fault interrupt left to
+  // piggyback on. The counter interrupt wakes the driver one more time
+  // and the backlog is drained now (real nvidia-uvm services access
+  // counters between kernels too). Charged after kernel completion: an
+  // iterative workload's next launch finds its hot regions promoted.
+  if (counters_ && !counters_->empty()) {
+    now_ = std::max(now_, counters_->next_arrival()) +
+           driver_.pcie().config().interrupt_latency_ns +
+           driver_.config().wakeup_ns;
+    if (tracer) {
+      tracer->instant(tracks::kSim, "counter_interrupt", now_,
+                      {{"pending", counters_->pending()}});
+    }
+    if (metrics) metrics->add("sim.counter_interrupts");
+    while (!counters_->empty()) {
+      now_ = driver_.service_counter_interrupt(now_).end_ns;
+    }
+  }
+
   result.log.assign(driver_.log().begin() + log_before, driver_.log().end());
   for (const auto& rec : result.log) result.batch_time_ns += rec.duration_ns();
   result.total_faults = gpu_.total_faults_emitted() - faults_before;
@@ -187,7 +229,19 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     result.service_aborts += rec.counters.service_aborts;
     result.thrash_pins += rec.counters.thrash_pins;
     result.thrash_throttles += rec.counters.thrash_throttles;
+    result.counter_notifications_serviced += rec.counters.ctr_notifications;
+    result.counter_pages_promoted += rec.counters.ctr_pages_promoted;
+    result.counter_unpins += rec.counters.ctr_unpins;
+    result.counter_evictions += rec.counters.ctr_evictions;
   }
+  if (counters_) {
+    result.counter_notifications =
+        counters_->total_notifications() - ctr_notif_before;
+    result.counter_notifications_dropped =
+        counters_->total_dropped_full() - ctr_dropped_before;
+  }
+  result.counter_notifications_lost =
+      injector_.counter_notifications_lost() - ctr_lost_before;
   if (metrics) {
     metrics->add("sim.runs");
     metrics->add("sim.kernel_time_ns", result.kernel_time_ns);

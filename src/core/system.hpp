@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "common/fault_inject.hpp"
+#include "gpu/access_counters.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "interconnect/pcie.hpp"
@@ -62,6 +63,18 @@ struct RunResult {
   std::uint64_t service_aborts = 0;        // retry budgets exhausted
   std::uint64_t thrash_pins = 0;           // pin+remote-map mitigations
   std::uint64_t thrash_throttles = 0;      // throttle-window mitigations
+
+  // Access-counter channel (all zero unless driver.access_counters is
+  // enabled). Queued/dropped/lost come from the hardware unit and the
+  // injector; serviced/promoted/unpinned from the batch log. Queued may
+  // exceed serviced when notifications are still pending at kernel end.
+  std::uint64_t counter_notifications = 0;         // queued by the GMMU
+  std::uint64_t counter_notifications_serviced = 0;
+  std::uint64_t counter_notifications_dropped = 0; // buffer-full drops
+  std::uint64_t counter_notifications_lost = 0;    // injected transit losses
+  std::uint64_t counter_pages_promoted = 0;
+  std::uint64_t counter_unpins = 0;
+  std::uint64_t counter_evictions = 0;
 };
 
 struct RunOptions {
@@ -86,6 +99,11 @@ class System {
 
   const FaultInjector& injector() const noexcept { return injector_; }
 
+  /// The GPU's access-counter unit; null when counters are disabled.
+  const AccessCounterUnit* access_counters() const noexcept {
+    return counters_.get();
+  }
+
   /// The run-stream's recorded trace/metrics. Empty unless the matching
   /// SystemConfig::obs flag was set; events accumulate across run() calls.
   const Tracer& tracer() const noexcept { return tracer_; }
@@ -105,6 +123,9 @@ class System {
   FaultInjector injector_;  // must outlive driver_ and gpu_ (they hold refs)
   Tracer tracer_;           // must precede driver_/gpu_ (they hold pointers)
   MetricsRegistry metrics_;
+  // Access-counter hardware unit, constructed only when enabled (must
+  // precede driver_/gpu_, which hold pointers into it).
+  std::unique_ptr<AccessCounterUnit> counters_;
   UvmDriver driver_;
   GpuEngine gpu_;
   SimTime now_ = 0;  // advances monotonically across run() calls

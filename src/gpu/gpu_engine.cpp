@@ -165,11 +165,13 @@ bool GpuEngine::advance_warp(BlockRt& block, WarpRt& warp, SimTime now,
       if (location == ResidencyOracle::PageLocation::kRemoteMapped) {
         // The access completes over the interconnect without faulting:
         // no driver batch and no migration, but the request crosses PCIe
-        // (charged at pipelined throughput by the simulator loop).
+        // (charged at pipelined throughput by the simulator loop) and
+        // bumps the page's MIMC access counter at µTLB resolution.
         warp.state[i] = kDone;
         --warp.remaining;
         ++result.remote_requests;
         ++remote_accesses_;
+        if (counters_) counters_->record_remote_access(page, block.sm, now);
         progressed = true;
         continue;
       }

@@ -25,6 +25,7 @@
 #include "common/fault_inject.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "gpu/access_counters.hpp"
 #include "gpu/fault_buffer.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/kernel_desc.hpp"
@@ -82,6 +83,13 @@ class GpuEngine {
   /// does not own it.
   void set_fault_injector(FaultInjector* injector) noexcept {
     injector_ = injector;
+  }
+
+  /// Attach the access-counter unit: every warp request served over the
+  /// interconnect (µTLB resolution of a remote-mapped page) bumps its MIMC
+  /// counters. May be null (counters disabled); the engine does not own it.
+  void set_access_counters(AccessCounterUnit* counters) noexcept {
+    counters_ = counters;
   }
 
   /// Attach observability sinks (fault-emission counters). May hold null
@@ -151,6 +159,7 @@ class GpuEngine {
   GpuConfig config_;
   Xoshiro256 rng_;
   FaultInjector* injector_ = nullptr;  // not owned; null = no injection
+  AccessCounterUnit* counters_ = nullptr;  // not owned; null = disabled
   Obs obs_;
   FaultBuffer buffer_;
   std::vector<UTlb> utlbs_;

@@ -28,11 +28,12 @@ struct BatchPhaseTimes {
   SimTime replay_ns = 0;       // fault replay issue
   SimTime backoff_ns = 0;      // retry backoff waits after transient errors
   SimTime throttle_ns = 0;     // thrashing-mitigation service delays
+  SimTime counter_ns = 0;      // access-counter servicing after the batch
 
   SimTime sum() const noexcept {
     return fetch_ns + dedup_ns + vablock_ns + eviction_ns + unmap_ns +
            populate_ns + dma_map_ns + prefetch_ns + transfer_ns +
-           pagetable_ns + replay_ns + backoff_ns + throttle_ns;
+           pagetable_ns + replay_ns + backoff_ns + throttle_ns + counter_ns;
   }
 };
 
@@ -72,6 +73,15 @@ struct BatchCounters {
   std::uint32_t thrash_throttles = 0;  // blocks throttled/shielded
   std::uint32_t buffer_dropped = 0;    // HW fault-buffer overflow drops
                                        // observed since the previous batch
+
+  // ---- Access-counter servicing (all zero with counters off) ------------
+  std::uint32_t ctr_notifications = 0;  // notifications serviced this pass
+  std::uint32_t ctr_dropped = 0;        // notification-buffer overflow drops
+                                        // observed since the previous pass
+  std::uint32_t ctr_pages_promoted = 0; // host -> device via counter path
+  std::uint32_t ctr_unpins = 0;         // thrash pins lifted by promotion
+  std::uint32_t ctr_evictions = 0;      // victims evicted to make room for
+                                        // counter-driven promotions
 };
 
 struct BatchRecord {

@@ -1,0 +1,79 @@
+// Access-counter servicing: the driver bottom half of the second GMMU
+// notification channel (gpu/access_counters.hpp).
+//
+// Real nvidia-uvm services replayable faults first and then the access-
+// counter notification batch; the simulator mirrors that ordering by
+// running one servicing pass at the end of every fault batch
+// (UvmDriver::handle_batch). A pass:
+//
+//   batch-fetch notifications arrived by the batch's end
+//   -> per MIMC notification:
+//        clear-on-service (re-arm the region's counter)
+//        -> pick as migration candidate unless its allocation is
+//           advised-host (explicit placement advice wins by default)
+//        -> lift the block's thrashing pin (ThrashingDetector::unpin) —
+//           the counters prove the region is hot enough to migrate back
+//        -> ensure a GPU chunk (evicting victims via the shared Evictor
+//           machinery when memory is full)
+//        -> copy-engine promotion of the region's host-backed pages,
+//           zero-fill population of never-touched ones, PTE updates.
+//
+// All costs charge into the batch's dedicated `counter_ns` phase and
+// extend the batch record's end time, so the duration <= phase-sum
+// invariant and the driver's busy-time accounting both hold. A pass with
+// no arrived notifications is free: zero cost, zero events, zero state
+// changes — counters enabled on a workload with no remote traffic stays
+// bit-identical to counters disabled.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/access_counters.hpp"
+#include "gpu/gpu_memory.hpp"
+#include "interconnect/copy_engine.hpp"
+#include "obs/obs.hpp"
+#include "uvm/batch.hpp"
+#include "uvm/driver_config.hpp"
+#include "uvm/eviction.hpp"
+#include "uvm/thrashing.hpp"
+#include "uvm/va_space.hpp"
+
+namespace uvmsim {
+
+class CounterServicer {
+ public:
+  CounterServicer(const DriverConfig& config, VaSpace& space,
+                  GpuMemory& memory, CopyEngine& copy, Evictor& evictor,
+                  ThrashingDetector* thrash = nullptr, Obs obs = {});
+
+  /// Run one servicing pass against `unit` at the end of the fault batch
+  /// `record` (whose end_ns must already be set): drain arrived
+  /// notifications, promote candidates, and charge every cost into
+  /// record.phases.counter_ns / record.end_ns plus the ctr_* counters.
+  void service(AccessCounterUnit& unit, BatchRecord& record);
+
+  std::uint64_t total_pages_promoted() const noexcept { return promoted_; }
+  std::uint64_t total_unpins() const noexcept { return unpins_; }
+  std::uint64_t total_evictions() const noexcept { return evictions_; }
+
+ private:
+  /// Evict one victim to make room for a promotion; mirrors the fault
+  /// path's eviction (shield-aware victim pick, forced writeback, thrash
+  /// bookkeeping) but charges counter_ns and ctr_evictions.
+  void evict_one(VaBlockId protect, BatchRecord& record);
+  bool ensure_chunk(VaBlockId id, VaBlockState& block, BatchRecord& record);
+
+  const DriverConfig& config_;
+  VaSpace& space_;
+  GpuMemory& memory_;
+  CopyEngine& copy_;
+  Evictor& evictor_;
+  ThrashingDetector* thrash_;  // may be null (no detection)
+  Obs obs_;                    // null members = no recording
+  std::uint64_t promoted_ = 0;
+  std::uint64_t unpins_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t dropped_seen_ = 0;  // unit drop total at the last pass
+};
+
+}  // namespace uvmsim

@@ -65,6 +65,41 @@ struct RetryPolicy {
   }
 };
 
+/// Access-counter notification servicing (gpu/access_counters.hpp +
+/// uvm/counter_servicer.hpp). Off by default: the stock fault-only driver.
+/// When enabled, the driver programs the GPU's counter registers with the
+/// granularity/threshold/buffer values below and, after each fault batch,
+/// batch-fetches counter notifications and promotes hot remote-mapped
+/// regions (thrash-pinned or advised-host) back to GPU memory through the
+/// existing eviction/copy-engine machinery.
+struct AccessCounterConfig {
+  bool enabled = false;
+
+  // Hardware register values programmed at init.
+  std::uint32_t granularity_pages = 16;  // one 64 KB big page per region
+  std::uint32_t threshold = 256;         // remote accesses before notify
+  std::uint32_t buffer_entries = 256;    // notification-buffer capacity
+
+  // Notifications fetched per servicing pass (the counter batch size).
+  std::uint32_t batch_size = 32;
+
+  // Promote advised-host (kPreferredLocationHost) regions too. Off keeps
+  // explicit placement advice authoritative: only thrash-pinned blocks
+  // (whose pin the servicer lifts) are promoted.
+  bool migrate_advised = false;
+
+  // Evict resident VABlocks to back a promotion when GPU memory is full.
+  // Off keeps counter migration opportunistic: a hot region that finds no
+  // free chunk stays remote (cleared and re-armed, any thrashing pin
+  // intact) instead of stealing memory from the live working set.
+  bool evict_for_promotion = false;
+
+  // ---- Servicing costs -------------------------------------------------
+  SimTime service_fixed_ns = 8000;     // pass setup/teardown
+  SimTime per_notification_ns = 300;   // read + candidate decision
+  SimTime clear_ns = 150;              // clear-on-service register write
+};
+
 struct DriverConfig {
   // ---- Policies -------------------------------------------------------
   std::uint32_t batch_size = 256;     // default UVM_PERF_FAULT_BATCH_COUNT
@@ -120,6 +155,9 @@ struct DriverConfig {
   // Oversubscription thrashing detection + graceful degradation
   // (uvm/thrashing.hpp; nvidia-uvm perf_thrashing equivalent).
   ThrashingConfig thrash{};
+  // Access-counter notification path + counter-driven migration (the
+  // second GMMU notification channel; off = fault-only stock driver).
+  AccessCounterConfig access_counters{};
 
   // ---- Host OS components ---------------------------------------------
   UnmapCostModel unmap{};

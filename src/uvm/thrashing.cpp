@@ -46,6 +46,17 @@ bool ThrashingDetector::is_pinned(VaBlockId block, SimTime now) const {
   return it != blocks_.end() && now < it->second.pinned_until_ns;
 }
 
+bool ThrashingDetector::unpin(VaBlockId block, SimTime now) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  auto& state = it->second;
+  const bool was_pinned = now < state.pinned_until_ns;
+  state.pinned_until_ns = 0;
+  state.ring.clear();
+  if (was_pinned) ++unpins_;
+  return was_pinned;
+}
+
 void ThrashingDetector::shield(VaBlockId block, SimTime until) {
   auto& state = blocks_[block];
   if (state.shielded_until_ns < until) state.shielded_until_ns = until;

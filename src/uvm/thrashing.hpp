@@ -78,12 +78,20 @@ class ThrashingDetector {
   void pin(VaBlockId block, SimTime until);
   bool is_pinned(VaBlockId block, SimTime now) const;
 
+  /// Lift a pin early (the access-counter servicer promotes a hot pinned
+  /// block back to GPU memory). Clears the block's thrash-event history so
+  /// the promoted block starts fresh instead of re-tripping the detector
+  /// on its next fault. Returns true — and counts an unpin — only when a
+  /// pin was actually in force at `now`.
+  bool unpin(VaBlockId block, SimTime now);
+
   /// kThrottle mitigation: shield the block from eviction until `until`.
   void shield(VaBlockId block, SimTime until);
   bool is_shielded(VaBlockId block, SimTime now) const;
 
   std::uint64_t thrash_events() const noexcept { return thrash_events_; }
   std::uint64_t pins() const noexcept { return pins_; }
+  std::uint64_t unpins() const noexcept { return unpins_; }
   std::uint64_t shields() const noexcept { return shields_; }
 
  private:
@@ -99,6 +107,7 @@ class ThrashingDetector {
   std::unordered_map<VaBlockId, BlockState> blocks_;
   std::uint64_t thrash_events_ = 0;
   std::uint64_t pins_ = 0;
+  std::uint64_t unpins_ = 0;
   std::uint64_t shields_ = 0;
 };
 

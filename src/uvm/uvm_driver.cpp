@@ -19,6 +19,8 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
       thrash_(config_.thrash),
       servicer_(config_, space_, memory_, dma_, copy_, evictor_, num_sms,
                 injector, &thrash_, obs),
+      counter_servicer_(config_, space_, memory_, copy_, evictor_, &thrash_,
+                        obs),
       effective_batch_size_(config_.batch_size) {
   copy_.set_obs(obs_);
   dma_.set_obs(obs_);
@@ -37,6 +39,10 @@ const BatchRecord& UvmDriver::handle_batch(const std::vector<FaultRecord>& raw,
   BatchRecord record = servicer_.service(
       raw, start, static_cast<std::uint32_t>(log_.size()));
   record.counters.buffer_dropped = buffer_dropped;
+  // Access counters are serviced after the replayable-fault batch (the
+  // hardware channels share the driver bottom half, faults first); the
+  // pass extends the batch record's counter_ns phase and end time.
+  if (counters_) counter_servicer_.service(*counters_, record);
   total_batch_ns_ += record.duration_ns();
   clock_ns_ = record.end_ns;
   if (config_.async_host_ops) {
@@ -65,6 +71,19 @@ const BatchRecord& UvmDriver::handle_batch(const std::vector<FaultRecord>& raw,
     record_batch_metrics(record);
   }
 
+  log_.push_back(std::move(record));
+  return log_.back();
+}
+
+const BatchRecord& UvmDriver::service_counter_interrupt(SimTime start) {
+  BatchRecord record;
+  record.id = static_cast<std::uint32_t>(log_.size());
+  record.start_ns = start;
+  record.end_ns = start;
+  counter_servicer_.service(*counters_, record);
+  total_batch_ns_ += record.duration_ns();
+  clock_ns_ = record.end_ns;
+  if (obs_.any()) record_batch_metrics(record);
   log_.push_back(std::move(record));
   return log_.back();
 }
@@ -109,6 +128,11 @@ void UvmDriver::record_batch_metrics(const BatchRecord& record) {
   m->add("driver.thrash_pins", c.thrash_pins);
   m->add("driver.thrash_throttles", c.thrash_throttles);
   m->add("driver.buffer_dropped", c.buffer_dropped);
+  m->add("driver.ctr_notifications", c.ctr_notifications);
+  m->add("driver.ctr_dropped", c.ctr_dropped);
+  m->add("driver.ctr_pages_promoted", c.ctr_pages_promoted);
+  m->add("driver.ctr_unpins", c.ctr_unpins);
+  m->add("driver.ctr_evictions", c.ctr_evictions);
 
   // Every phase timer, as accumulated ns. Same contract as the counters.
   const BatchPhaseTimes& p = record.phases;
@@ -125,6 +149,7 @@ void UvmDriver::record_batch_metrics(const BatchRecord& record) {
   m->add("phase.replay_ns", p.replay_ns);
   m->add("phase.backoff_ns", p.backoff_ns);
   m->add("phase.throttle_ns", p.throttle_ns);
+  m->add("phase.counter_ns", p.counter_ns);
 
   // Batch-shape distributions (Figure 6-style analyses).
   m->observe("batch.duration_ns", record.duration_ns());

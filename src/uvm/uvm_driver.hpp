@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "gpu/access_counters.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "gpu/gpu_memory.hpp"
 #include "hostos/dma.hpp"
@@ -18,6 +19,7 @@
 #include "interconnect/pcie.hpp"
 #include "obs/obs.hpp"
 #include "uvm/batch.hpp"
+#include "uvm/counter_servicer.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
 #include "uvm/fault_servicer.hpp"
@@ -52,6 +54,14 @@ class UvmDriver final : public ResidencyOracle {
                                   SimTime start,
                                   std::uint32_t buffer_dropped = 0);
 
+  /// Counter-interrupt bottom half with no fault batch attached: one
+  /// servicing pass against the access-counter unit, appended to the log
+  /// as a counter-only record starting at `start`. The System loop calls
+  /// this when the GPU goes idle with notifications still buffered (real
+  /// nvidia-uvm drains the counter channel between kernels too). Requires
+  /// set_access_counters.
+  const BatchRecord& service_counter_interrupt(SimTime start);
+
   // ResidencyOracle: the GPU's page-table view.
   bool is_resident_on_gpu(PageId page) const override {
     return space_.is_gpu_resident(page);
@@ -83,6 +93,17 @@ class UvmDriver final : public ResidencyOracle {
   const CopyEngine& copy_engine() const noexcept { return copy_; }
   const Evictor& evictor() const noexcept { return evictor_; }
   const ThrashingDetector& thrashing() const noexcept { return thrash_; }
+
+  /// Attach the GPU's access-counter unit: after each fault batch the
+  /// driver runs one counter-servicing pass against it (real nvidia-uvm
+  /// services replayable faults first, then access counters). May be null
+  /// (counters disabled — the default); the driver does not own it.
+  void set_access_counters(AccessCounterUnit* counters) noexcept {
+    counters_ = counters;
+  }
+  const CounterServicer& counter_servicer() const noexcept {
+    return counter_servicer_;
+  }
 
   const BatchLog& log() const noexcept { return log_; }
   BatchLog take_log() noexcept { return std::move(log_); }
@@ -120,6 +141,8 @@ class UvmDriver final : public ResidencyOracle {
   Evictor evictor_;
   ThrashingDetector thrash_;
   FaultServicer servicer_;
+  CounterServicer counter_servicer_;
+  AccessCounterUnit* counters_ = nullptr;  // not owned; null = disabled
   BatchLog log_;
   SimTime total_batch_ns_ = 0;
   SimTime async_ns_ = 0;

@@ -220,6 +220,55 @@ TEST(GoldenTrace, TraceFixtureParsesAsChromeTraceJson) {
   EXPECT_FALSE(parsed.track_names.empty());
 }
 
+TEST(GoldenTrace, CountersEnabledLeaveTheGoldenLogUntouched) {
+  // vecadd-paged never remote-maps a page, so even with the access-
+  // counter channel ENABLED the canonical batch log must stay identical
+  // to the (counters-off) fixture: an armed-but-idle unit is free.
+  std::ifstream in(kFixture);
+  ASSERT_TRUE(in) << "missing golden fixture " << kFixture;
+  const auto parsed = read_batch_log(in);
+  ASSERT_EQ(parsed.skipped_lines, 0u);
+
+  SystemConfig cfg = small_config(256);
+  cfg.driver.access_counters.enabled = true;
+  cfg.driver.access_counters.threshold = 1;  // hair trigger, still silent
+  System system(cfg);
+  const auto result = system.run(make_vecadd_paged());
+  ASSERT_NE(system.access_counters(), nullptr);
+  EXPECT_EQ(system.access_counters()->total_accesses(), 0u);
+  ASSERT_EQ(result.log.size(), parsed.log.size());
+  for (std::size_t i = 0; i < result.log.size(); ++i) {
+    EXPECT_EQ(serialize_batch(result.log[i]), serialize_batch(parsed.log[i]))
+        << "batch " << i;
+  }
+}
+
+TEST(GoldenTrace, CounterTracedRunsAreByteIdentical) {
+  // An oversubscribed thrash-pinned workload with counters AND tracing
+  // on: the counter track and its spans land in the trace, and repeating
+  // the run reproduces the JSON byte for byte.
+  SystemConfig cfg = small_config(8);
+  cfg.obs.trace = true;
+  cfg.driver.prefetch_enabled = false;
+  cfg.driver.big_page_promotion = false;
+  cfg.driver.thrash.enabled = true;
+  cfg.driver.thrash.mitigation = ThrashMitigation::kPin;
+  cfg.driver.access_counters.enabled = true;
+  cfg.driver.access_counters.threshold = 32;
+
+  const auto spec = make_random(16ULL << 20, 0x5eed);
+  System first(cfg);
+  const auto a = first.run(spec);
+  System second(cfg);
+  second.run(spec);
+
+  EXPECT_GT(a.counter_pages_promoted, 0u);
+  const std::string json = trace_to_json(first.tracer());
+  EXPECT_NE(json.find("access counters"), std::string::npos);
+  EXPECT_NE(json.find("counter_service"), std::string::npos);
+  EXPECT_EQ(json, trace_to_json(second.tracer()));
+}
+
 TEST(GoldenTrace, FixtureRoundTripsThroughLogIo) {
   // The fixture exercises the serializer too: parse -> serialize must
   // reproduce the file byte for byte (modulo trailing whitespace).

@@ -12,6 +12,7 @@ namespace uvmsim {
 namespace {
 
 using testutil::FuzzCase;
+using testutil::make_counter_fuzz_case;
 using testutil::make_fuzz_case;
 using testutil::make_injected_fuzz_case;
 using testutil::small_config;
@@ -120,6 +121,43 @@ TEST(Invariants, InjectedFaultsConserveAndBalanceAcrossSeeds) {
       ASSERT_EQ(serialize_batch(replay.log[i]), serialize_batch(result.log[i]))
           << "seed " << seed << " batch " << i;
     }
+  }
+}
+
+TEST(Invariants, CounterAssistedRunsConserveAndBalanceAcrossSeeds) {
+  // The access-counter channel moves pages outside the fault path, but
+  // the conservation invariants are channel-agnostic: promotions and
+  // their evictions must never lose a page's only copy, and the counter
+  // books must balance against the batch log.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const FuzzCase c = make_counter_fuzz_case(seed);
+    System system(c.config);
+    const auto result = system.run(c.spec);
+    ASSERT_GT(result.total_faults, 0u) << "seed " << seed;
+    check_run_invariants(system, c.config, result);
+
+    std::uint64_t logged_notifications = 0;
+    std::uint64_t logged_promoted = 0;
+    std::uint64_t logged_unpins = 0;
+    std::uint64_t logged_ctr_evictions = 0;
+    for (const auto& rec : result.log) {
+      logged_notifications += rec.counters.ctr_notifications;
+      logged_promoted += rec.counters.ctr_pages_promoted;
+      logged_unpins += rec.counters.ctr_unpins;
+      logged_ctr_evictions += rec.counters.ctr_evictions;
+    }
+    EXPECT_EQ(logged_notifications, result.counter_notifications_serviced)
+        << "seed " << seed;
+    EXPECT_EQ(logged_promoted, result.counter_pages_promoted)
+        << "seed " << seed;
+    EXPECT_EQ(logged_unpins, result.counter_unpins) << "seed " << seed;
+    EXPECT_EQ(logged_ctr_evictions, result.counter_evictions)
+        << "seed " << seed;
+    // Every serviced notification was queued by the GMMU first; the
+    // queue tail may still be pending at kernel end.
+    EXPECT_GE(result.counter_notifications,
+              result.counter_notifications_serviced)
+        << "seed " << seed;
   }
 }
 

@@ -68,6 +68,11 @@ std::vector<std::pair<const char*, std::uint64_t>> mirrored_fields(
       {"driver.thrash_pins", c.thrash_pins},
       {"driver.thrash_throttles", c.thrash_throttles},
       {"driver.buffer_dropped", c.buffer_dropped},
+      {"driver.ctr_notifications", c.ctr_notifications},
+      {"driver.ctr_dropped", c.ctr_dropped},
+      {"driver.ctr_pages_promoted", c.ctr_pages_promoted},
+      {"driver.ctr_unpins", c.ctr_unpins},
+      {"driver.ctr_evictions", c.ctr_evictions},
       {"phase.fetch_ns", p.fetch_ns},
       {"phase.dedup_ns", p.dedup_ns},
       {"phase.vablock_ns", p.vablock_ns},
@@ -81,6 +86,7 @@ std::vector<std::pair<const char*, std::uint64_t>> mirrored_fields(
       {"phase.replay_ns", p.replay_ns},
       {"phase.backoff_ns", p.backoff_ns},
       {"phase.throttle_ns", p.throttle_ns},
+      {"phase.counter_ns", p.counter_ns},
   };
 }
 
@@ -139,6 +145,16 @@ TEST(Metrics, RegistryMatchesBatchLogUnderInjectedFaults) {
     const FuzzCase c = make_injected_fuzz_case(seed);
     check_registry_matches_log(c.config, c.spec,
                                "injected seed " + std::to_string(seed));
+  }
+}
+
+TEST(Metrics, RegistryMatchesBatchLogWithAccessCounters) {
+  // The counter-servicing mirror (driver.ctr_* / phase.counter_ns) must
+  // track the log exactly while the promotion path is actually firing.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const FuzzCase c = testutil::make_counter_fuzz_case(seed);
+    check_registry_matches_log(c.config, c.spec,
+                               "counter seed " + std::to_string(seed));
   }
 }
 

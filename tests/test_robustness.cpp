@@ -182,6 +182,45 @@ TEST(ThrashingDetector, PinsAndShieldsExpire) {
   EXPECT_EQ(det.shields(), 1u);
 }
 
+TEST(ThrashingDetector, UnpinLiftsLivePinsAndClearsHistory) {
+  // The access-counter servicer's way back from pin+remote-map: unpin()
+  // lifts a live pin (counted), is a no-op on expired pins and untracked
+  // blocks, and clears the thrash history so the block re-earns any
+  // future pin from scratch.
+  ThrashingConfig cfg;
+  cfg.enabled = true;
+  cfg.lapse_ns = 1000;
+  cfg.threshold = 3;
+  ThrashingDetector det(cfg);
+
+  det.pin(3, 10'000);
+  ASSERT_TRUE(det.is_pinned(3, 500));
+  EXPECT_TRUE(det.unpin(3, 500));
+  EXPECT_FALSE(det.is_pinned(3, 500));
+  EXPECT_EQ(det.unpins(), 1u);
+
+  // Unpinning again, an expired pin, or an untracked block: false, and
+  // the unpin counter only tracks live pins actually lifted.
+  EXPECT_FALSE(det.unpin(3, 600));
+  det.pin(4, 1000);
+  EXPECT_FALSE(det.unpin(4, 2000));  // already expired
+  EXPECT_FALSE(det.unpin(99, 0));    // never tracked
+  EXPECT_EQ(det.unpins(), 1u);
+
+  // History cleared: the ping-pong count restarts after an unpin.
+  SimTime t = 100'000;
+  for (int round = 0; round < 3; ++round) {
+    det.record_eviction(7, t);
+    EXPECT_EQ(det.record_fault(7, t + 500), round == 2);
+    t += 10'000;
+  }
+  det.pin(7, t + 1'000'000);
+  EXPECT_TRUE(det.unpin(7, t));
+  det.record_eviction(7, t);
+  EXPECT_FALSE(det.record_fault(7, t + 500))
+      << "pre-unpin thrash events must not count toward a new pin";
+}
+
 // ---- Serialization of the robustness fields -------------------------------
 
 TEST(RobustnessLog, NewFieldsRoundTripAndZeroStaysInvisible) {

@@ -69,4 +69,27 @@ inline FuzzCase make_injected_fuzz_case(std::uint64_t seed) {
   return c;
 }
 
+/// Oversubscribed scenarios with thrashing pins and the access-counter
+/// channel armed — the regime where counter-driven promotion actually
+/// fires. Separate draw stream again, so the base cases stay untouched.
+inline FuzzCase make_counter_fuzz_case(std::uint64_t seed) {
+  std::mt19937_64 rng(0xACCE55ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  FuzzCase c{make_random((12ULL + rng() % 21) << 20, rng()),
+             small_config(8 + 4 * (rng() % 3))};
+  c.config.seed = rng();
+  c.config.driver.prefetch_enabled = false;
+  c.config.driver.big_page_promotion = false;
+  c.config.driver.batch_size = 128u << (rng() % 2);
+  c.config.driver.thrash.enabled = true;
+  c.config.driver.thrash.mitigation = ThrashMitigation::kPin;
+  auto& ac = c.config.driver.access_counters;
+  ac.enabled = true;
+  ac.granularity_pages = 4u << (rng() % 4);  // 4, 8, 16, or 32 pages
+  ac.threshold = 16u << (rng() % 4);
+  ac.buffer_entries = 8u << (rng() % 6);     // down to 8: forces drops
+  ac.batch_size = 8u << (rng() % 3);
+  ac.evict_for_promotion = (rng() % 2) == 0;  // both promotion policies
+  return c;
+}
+
 }  // namespace uvmsim::testutil

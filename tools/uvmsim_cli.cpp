@@ -127,6 +127,11 @@ int cmd_list() {
               "--retry-backoff-cap-ns N\n");
   std::printf("thrashing: --thrash-detect --thrash-mitigation "
               "none|pin|throttle --thrash-threshold N --thrash-lapse-ns N\n");
+  std::printf("access counters: --access-counters [G,T] (granularity pages, "
+              "notification threshold) --ctr-buffer N --ctr-batch N "
+              "--ctr-migrate-advised --ctr-evict --inject-counter-loss P\n");
+  std::printf("analyze: --phases (per-phase distribution) --json "
+              "(machine-readable summary incl. counter_stats)\n");
   return 0;
 }
 
@@ -181,6 +186,7 @@ int cmd_run(const Args& args) {
     inj.storm_prob = args.get_f64("inject-storm-prob", 0.0);
     inj.storm_faults = static_cast<std::uint32_t>(
         args.get_u64("inject-storm-faults", inj.storm_faults));
+    inj.counter_loss_prob = args.get_f64("inject-counter-loss", 0.0);
   }
   cfg.driver.retry.max_attempts =
       static_cast<std::uint32_t>(args.get_u64("retry-max",
@@ -207,6 +213,31 @@ int cmd_run(const Args& args) {
     th.threshold = static_cast<std::uint32_t>(
         args.get_u64("thrash-threshold", th.threshold));
     th.lapse_ns = args.get_u64("thrash-lapse-ns", th.lapse_ns);
+  }
+  // A bare --access-counters keeps the register defaults; a value is a
+  // "granularity,threshold" pair (e.g. --access-counters 16,256).
+  if (args.flag("access-counters")) {
+    auto& ac = cfg.driver.access_counters;
+    ac.enabled = true;
+    if (const std::string regs = args.get("access-counters", "1");
+        regs != "1") {
+      const auto comma = regs.find(',');
+      if (comma == std::string::npos) {
+        std::fprintf(stderr, "--access-counters wants GRANULARITY,THRESHOLD "
+                     "(e.g. 16,256)\n");
+        return 2;
+      }
+      ac.granularity_pages = static_cast<std::uint32_t>(
+          std::stoull(regs.substr(0, comma)));
+      ac.threshold = static_cast<std::uint32_t>(
+          std::stoull(regs.substr(comma + 1)));
+    }
+    ac.buffer_entries = static_cast<std::uint32_t>(
+        args.get_u64("ctr-buffer", ac.buffer_entries));
+    ac.batch_size = static_cast<std::uint32_t>(
+        args.get_u64("ctr-batch", ac.batch_size));
+    if (args.flag("ctr-migrate-advised")) ac.migrate_advised = true;
+    if (args.flag("ctr-evict")) ac.evict_for_promotion = true;
   }
   if (args.flag("pin-host")) {
     for (auto& alloc : spec->allocs) {
@@ -250,6 +281,20 @@ int cmd_run(const Args& args) {
     std::printf("thrashing: pins=%llu throttles=%llu\n",
                 static_cast<unsigned long long>(result.thrash_pins),
                 static_cast<unsigned long long>(result.thrash_throttles));
+  }
+  if (cfg.driver.access_counters.enabled) {
+    std::printf("counters: notif=%llu serviced=%llu dropped=%llu lost=%llu "
+                "promoted=%llu unpins=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(result.counter_notifications),
+                static_cast<unsigned long long>(
+                    result.counter_notifications_serviced),
+                static_cast<unsigned long long>(
+                    result.counter_notifications_dropped),
+                static_cast<unsigned long long>(
+                    result.counter_notifications_lost),
+                static_cast<unsigned long long>(result.counter_pages_promoted),
+                static_cast<unsigned long long>(result.counter_unpins),
+                static_cast<unsigned long long>(result.counter_evictions));
   }
 
   if (const std::string path = args.get("log", ""); !path.empty()) {
@@ -317,6 +362,39 @@ int cmd_analyze(const std::string& path, const Args& args) {
   const auto sm = sm_stats(log, 80);
   const auto vab = vablock_stats(log);
   const auto fit = cost_vs_migration_fit(log);
+  const auto robust = robustness_totals(log);
+  const auto ctr = counter_totals(log);
+
+  if (args.flag("json")) {
+    // Machine-readable summary; counter_stats mirrors the table block.
+    std::printf("{\n");
+    std::printf("  \"batches\": %zu,\n", log.size());
+    std::printf("  \"raw_faults\": %llu,\n",
+                static_cast<unsigned long long>(totals.raw));
+    std::printf("  \"unique_faults\": %llu,\n",
+                static_cast<unsigned long long>(totals.unique));
+    std::printf("  \"batch_time_ns\": %llu,\n",
+                static_cast<unsigned long long>(phases.sum()));
+    std::printf("  \"robustness\": {\"transfer_errors\": %llu, "
+                "\"service_aborts\": %llu, \"thrash_pins\": %llu, "
+                "\"buffer_dropped\": %llu},\n",
+                static_cast<unsigned long long>(robust.transfer_errors),
+                static_cast<unsigned long long>(robust.service_aborts),
+                static_cast<unsigned long long>(robust.thrash_pins),
+                static_cast<unsigned long long>(robust.buffer_dropped));
+    std::printf("  \"counter_stats\": {\"notifications\": %llu, "
+                "\"dropped\": %llu, \"pages_promoted\": %llu, "
+                "\"unpins\": %llu, \"evictions\": %llu, "
+                "\"counter_ns\": %llu}\n",
+                static_cast<unsigned long long>(ctr.notifications),
+                static_cast<unsigned long long>(ctr.dropped),
+                static_cast<unsigned long long>(ctr.pages_promoted),
+                static_cast<unsigned long long>(ctr.unpins),
+                static_cast<unsigned long long>(ctr.evictions),
+                static_cast<unsigned long long>(ctr.counter_ns));
+    std::printf("}\n");
+    return 0;
+  }
 
   TablePrinter table({"metric", "value"});
   table.add_row({"batches", std::to_string(log.size())});
@@ -345,7 +423,7 @@ int cmd_analyze(const std::string& path, const Args& args) {
                        " workers)",
                    fmt(sm.speedup, 2) + "x"});
   }
-  if (const auto robust = robustness_totals(log); robust.any()) {
+  if (robust.any()) {
     table.add_row({"transfer errors (injected)",
                    std::to_string(robust.transfer_errors)});
     table.add_row({"transfer retries", std::to_string(robust.transfer_retries)});
@@ -362,6 +440,17 @@ int cmd_analyze(const std::string& path, const Args& args) {
                    fmt(static_cast<double>(robust.backoff_ns) / 1e6, 3)});
     table.add_row({"throttle delay (ms)",
                    fmt(static_cast<double>(robust.throttle_ns) / 1e6, 3)});
+  }
+  if (ctr.any()) {
+    table.add_row({"counter notifications",
+                   std::to_string(ctr.notifications)});
+    table.add_row({"counter drops", std::to_string(ctr.dropped)});
+    table.add_row({"counter pages promoted",
+                   std::to_string(ctr.pages_promoted)});
+    table.add_row({"counter unpins", std::to_string(ctr.unpins)});
+    table.add_row({"counter evictions", std::to_string(ctr.evictions)});
+    table.add_row({"counter service (ms)",
+                   fmt(static_cast<double>(ctr.counter_ns) / 1e6, 3)});
   }
   std::printf("%s", table.render().c_str());
 
@@ -394,7 +483,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s run [flags] | trace [flags] --out FILE | "
-                 "analyze FILE [--phases] | list\n",
+                 "analyze FILE [--phases] [--json] | list\n",
                  argv[0]);
     return 1;
   }
