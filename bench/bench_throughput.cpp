@@ -1,0 +1,250 @@
+// Host throughput harness for the event-driven simulation core.
+//
+// Unlike the fig*/tab* binaries (which reproduce paper RESULTS), this one
+// measures the SIMULATOR: how fast the discrete-event engine advances
+// simulated time compared to the time-stepped reference mode, and how the
+// host shard count affects wall-clock throughput. Three paper workloads
+// are timed under five engine configurations each:
+//
+//   stepped          time-stepped reference (quantum walk + idle polls)
+//   event x1/2/4/8   event-driven engine, 1/2/4/8 host shards
+//
+// For every (workload, config) cell the best-of-N wall time yields
+//   sim_ns_per_sec    simulated ns advanced per host second
+//   faults_per_sec    raw fault-buffer arrivals processed per host second
+//   events_per_sec    engine events executed per host second
+// and speedup_vs_stepped = sim_ns_per_sec / stepped's sim_ns_per_sec.
+//
+// vecadd-paged is the idle-heavy cell: one warp faulting one page at a
+// time leaves the timeline dominated by gaps the event engine jumps in
+// O(1) while the stepped mode walks them quantum by quantum — this is
+// where the engine's >=3x advance-rate win shows up.
+//
+// Results are written as BENCH_throughput.json (see --out). CI runs the
+// --smoke variant and diffs events_per_sec against the committed baseline
+// with a 20% regression gate.
+//
+// Usage: bench_throughput [--smoke] [--reps N] [--out PATH]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace uvmsim {
+namespace {
+
+struct Cell {
+  std::string engine;  // "stepped" | "event"
+  unsigned shards = 1;
+  double wall_ms = 0;
+  SimTime sim_ns = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t events = 0;
+  std::uint64_t quantum_steps = 0;
+  double sim_ns_per_sec = 0;
+  double faults_per_sec = 0;
+  double events_per_sec = 0;
+  double speedup_vs_stepped = 0;
+};
+
+struct Workload {
+  std::string name;
+  bool idle_heavy = false;
+  WorkloadSpec spec;
+  SystemConfig config;
+};
+
+std::vector<Workload> make_workloads(bool smoke) {
+  std::vector<Workload> out;
+  {
+    // Idle-heavy: one warp, one page per fault group, with the host
+    // wakeup latency set to the paper's batch-handling scale — measured
+    // fault latencies run from a 45 us minimum to hundreds of us under
+    // load, while the 3 us default models a hot-polling worker. Sparse
+    // single-page batches separated by ~200 us of servicing latency
+    // leave the timeline almost entirely idle — gaps the event engine
+    // jumps in O(1) while the stepped reference walks them 100 ns at a
+    // time.
+    Workload w{"vecadd-paged", true, make_vecadd_paged(32, 12),
+               presets::scaled_titan_v(64)};
+    w.config.driver.wakeup_ns = 200'000;
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w{"stream", false,
+               make_stream_triad(smoke ? (1u << 16) : (1u << 20)),
+               presets::scaled_titan_v(256)};
+    out.push_back(std::move(w));
+  }
+  {
+    GaussSeidelParams p;
+    p.nx = smoke ? 512u : 2048u;
+    p.ny = smoke ? 256u : 1024u;
+    Workload w{"gauss-seidel", false, make_gauss_seidel(p),
+               presets::scaled_titan_v(256)};
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+Cell measure(const Workload& w, AdvanceMode mode, unsigned shards, int reps) {
+  Cell cell;
+  cell.engine = mode == AdvanceMode::kTimeStepped ? "stepped" : "event";
+  cell.shards = shards;
+  double best_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    SystemConfig config = w.config;
+    config.engine.mode = mode;
+    config.engine.shards = shards;
+    System system(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult result = system.run(w.spec);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best_ms) {
+      best_ms = ms;
+      cell.sim_ns = result.kernel_time_ns;
+      cell.faults = result.total_faults;
+      cell.events = system.engine_stats().executed;
+      cell.quantum_steps = system.engine_stats().quantum_steps;
+    }
+  }
+  cell.wall_ms = best_ms;
+  const double secs = best_ms / 1e3 > 0 ? best_ms / 1e3 : 1e-9;
+  cell.sim_ns_per_sec = static_cast<double>(cell.sim_ns) / secs;
+  cell.faults_per_sec = static_cast<double>(cell.faults) / secs;
+  cell.events_per_sec = static_cast<double>(cell.events) / secs;
+  return cell;
+}
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<Workload>& workloads,
+                const std::vector<std::vector<Cell>>& cells) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench_throughput: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  char buf[256];
+  out << "{\n  \"schema\": \"uvmsim-bench-throughput/1\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"workloads\": [\n";
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    out << "    {\n      \"name\": \"" << workloads[wi].name << "\",\n";
+    out << "      \"idle_heavy\": "
+        << (workloads[wi].idle_heavy ? "true" : "false") << ",\n";
+    out << "      \"runs\": [\n";
+    for (std::size_t ci = 0; ci < cells[wi].size(); ++ci) {
+      const Cell& c = cells[wi][ci];
+      std::snprintf(
+          buf, sizeof buf,
+          "        {\"engine\": \"%s\", \"shards\": %u, \"wall_ms\": %.3f, "
+          "\"sim_ns\": %llu, \"faults\": %llu, \"events\": %llu, "
+          "\"quantum_steps\": %llu,",
+          c.engine.c_str(), c.shards, c.wall_ms,
+          static_cast<unsigned long long>(c.sim_ns),
+          static_cast<unsigned long long>(c.faults),
+          static_cast<unsigned long long>(c.events),
+          static_cast<unsigned long long>(c.quantum_steps));
+      out << buf;
+      std::snprintf(buf, sizeof buf,
+                    " \"sim_ns_per_sec\": %.0f, \"faults_per_sec\": %.0f, "
+                    "\"events_per_sec\": %.0f, \"speedup_vs_stepped\": %.2f}",
+                    c.sim_ns_per_sec, c.faults_per_sec, c.events_per_sec,
+                    c.speedup_vs_stepped);
+      out << buf << (ci + 1 < cells[wi].size() ? ",\n" : "\n");
+    }
+    out << "      ]\n    }" << (wi + 1 < workloads.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+int run_main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 3;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--smoke] [--reps N] [--out "
+                   "PATH]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  bench::print_header(
+      "bench_throughput: event-engine advance rate & shard scaling",
+      "simulator throughput (host metric; not a paper figure)");
+
+  const auto workloads = make_workloads(smoke);
+  const unsigned shard_counts[] = {1, 2, 4, 8};
+  std::vector<std::vector<Cell>> all_cells;
+  bool idle_heavy_3x = false;
+
+  for (const Workload& w : workloads) {
+    std::printf("%-14s %-8s %7s %12s %16s %14s %14s %9s\n", w.name.c_str(),
+                "engine", "shards", "wall_ms", "sim_ns/sec", "faults/sec",
+                "events/sec", "speedup");
+    std::vector<Cell> cells;
+    cells.push_back(measure(w, AdvanceMode::kTimeStepped, 1, reps));
+    for (const unsigned shards : shard_counts) {
+      cells.push_back(measure(w, AdvanceMode::kEventDriven, shards, reps));
+    }
+    const double stepped_rate = cells[0].sim_ns_per_sec;
+    for (Cell& c : cells) {
+      c.speedup_vs_stepped =
+          stepped_rate > 0 ? c.sim_ns_per_sec / stepped_rate : 0;
+      std::printf("%-14s %-8s %7u %12.3f %16.0f %14.0f %14.0f %8.2fx\n",
+                  w.name.c_str(), c.engine.c_str(), c.shards, c.wall_ms,
+                  c.sim_ns_per_sec, c.faults_per_sec, c.events_per_sec,
+                  c.speedup_vs_stepped);
+      if (w.idle_heavy && c.engine == "event" &&
+          c.speedup_vs_stepped >= 3.0) {
+        idle_heavy_3x = true;
+      }
+    }
+    // Both modes must agree on the simulated outcome or the comparison is
+    // meaningless.
+    for (const Cell& c : cells) {
+      if (c.sim_ns != cells[0].sim_ns || c.faults != cells[0].faults) {
+        std::fprintf(stderr,
+                     "bench_throughput: %s %s x%u diverged from stepped "
+                     "(sim_ns %llu vs %llu)\n",
+                     w.name.c_str(), c.engine.c_str(), c.shards,
+                     static_cast<unsigned long long>(c.sim_ns),
+                     static_cast<unsigned long long>(cells[0].sim_ns));
+        return 1;
+      }
+    }
+    std::printf("\n");
+    all_cells.push_back(std::move(cells));
+  }
+
+  bench::shape_check(idle_heavy_3x,
+                     "event engine advances sim time >=3x faster than the "
+                     "stepped reference on the idle-heavy workload");
+
+  write_json(out_path, smoke, workloads, all_cells);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  // The >=3x claim is only enforced on full runs: smoke cells finish in
+  // well under a millisecond, where scheduler noise swamps the ratio.
+  return (smoke || idle_heavy_3x) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace uvmsim
+
+int main(int argc, char** argv) { return uvmsim::run_main(argc, argv); }

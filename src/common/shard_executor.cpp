@@ -1,0 +1,114 @@
+#include "common/shard_executor.hpp"
+
+namespace uvmsim {
+
+ShardExecutor::ShardExecutor(unsigned shards)
+    : shards_(shards < 1 ? 1u : shards) {
+  if (shards_ > 1) {
+    errors_.resize(shards_);
+    workers_.reserve(shards_ - 1);
+    for (unsigned s = 1; s < shards_; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void ShardExecutor::worker_loop(unsigned shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(unsigned)>* shard_fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      fn = job_fn_;
+      shard_fn = job_shard_fn_;
+      n = job_n_;
+    }
+    try {
+      if (shard_fn) {
+        (*shard_fn)(shard);
+      } else if (fn) {
+        for (std::size_t i = shard; i < n; i += shards_) (*fn)(i);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      errors_[shard] = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ShardExecutor::run_cycle(std::size_t n,
+                              const std::function<void(std::size_t)>* fn,
+                              const std::function<void(unsigned)>* shard_fn) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_n_ = n;
+    job_fn_ = fn;
+    job_shard_fn_ = shard_fn;
+    remaining_ = shards_;
+    for (auto& e : errors_) e = nullptr;
+    ++generation_;
+    ++forks_;
+  }
+  start_cv_.notify_all();
+
+  // The calling thread is shard 0.
+  try {
+    if (shard_fn) {
+      (*shard_fn)(0);
+    } else if (fn) {
+      for (std::size_t i = 0; i < n; i += shards_) (*fn)(i);
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    errors_[0] = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (--remaining_ > 0) {
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  }
+  for (const auto& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ShardExecutor::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (shards_ <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  run_cycle(n, &fn, nullptr);
+}
+
+void ShardExecutor::for_each_shard(const std::function<void(unsigned)>& fn) {
+  if (shards_ <= 1) {
+    fn(0);
+    return;
+  }
+  run_cycle(0, nullptr, &fn);
+}
+
+}  // namespace uvmsim

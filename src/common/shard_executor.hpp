@@ -1,0 +1,87 @@
+// Host-side shard executor: the fork/join substrate for sharded event
+// execution inside ONE simulated system.
+//
+// A ShardExecutor owns `shards - 1` persistent worker threads (plus the
+// calling thread) and runs index spaces across them with a STATIC,
+// deterministic partition: shard s executes exactly the indices i with
+// i % shards == s. Every task writes only its own outputs; all shared
+// state is merged by the caller after join(), in deterministic index
+// order. That barrier is the simulated driver-lock synchronization
+// point: shard results become visible to the rest of the system in the
+// same order no matter how the host threads interleave, which is what
+// keeps traces byte-identical with sharding on or off.
+//
+// shards <= 1 never spawns a thread — the default configuration is
+// exactly as single-threaded as it was before sharding existed. This
+// also makes nesting safe: core/parallel_runner runs many Systems on a
+// thread pool, and each of those Systems defaults to an inline executor.
+//
+// Distinct from both:
+//   * core/parallel_runner — host threads across MANY independent
+//     simulated systems (sweeps/benches);
+//   * DriverConfig::parallelism — SIMULATED driver threads inside the
+//     cost model (uvm/lpt_schedule.hpp), which change simulated time,
+//     not host time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uvmsim {
+
+class ShardExecutor {
+ public:
+  /// `shards` host execution lanes; clamped to >= 1. Workers are spawned
+  /// eagerly (shards - 1 of them) and parked between fork/join cycles.
+  explicit ShardExecutor(unsigned shards = 1);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  unsigned shards() const noexcept { return shards_; }
+  bool parallel() const noexcept { return shards_ > 1; }
+
+  /// Run fn(i) for every i in [0, n). Shard s executes the indices with
+  /// i % shards == s, so the work-to-lane assignment is a pure function
+  /// of (n, shards). Blocks until every index has run (the deterministic
+  /// merge barrier). The first exception (by shard index) is rethrown
+  /// after all lanes have drained.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(s) once per shard s in [0, shards). Same barrier semantics.
+  void for_each_shard(const std::function<void(unsigned)>& fn);
+
+  /// Fork/join cycles executed (one per parallel_for/for_each_shard that
+  /// actually forked; inline runs do not count).
+  std::uint64_t forks() const noexcept { return forks_; }
+
+ private:
+  void worker_loop(unsigned shard);
+  void run_cycle(std::size_t n, const std::function<void(std::size_t)>* fn,
+                 const std::function<void(unsigned)>* shard_fn);
+
+  unsigned shards_;
+  std::uint64_t forks_ = 0;
+
+  // Fork/join rendezvous state (guarded by mutex_).
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;   // bumped per fork; wakes parked workers
+  unsigned remaining_ = 0;         // lanes still running this cycle
+  bool shutdown_ = false;
+  std::size_t job_n_ = 0;
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;
+  const std::function<void(unsigned)>* job_shard_fn_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace uvmsim

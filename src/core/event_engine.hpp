@@ -1,0 +1,170 @@
+// Discrete-event simulation core.
+//
+// Components post timestamped events — fault arrivals, batch completions,
+// GPU compute-window boundaries, counter-notification interrupts — into a
+// central priority queue, and the engine executes them in deterministic
+// order: events are totally ordered by the key (time, component-id,
+// sequence). Two events at the same simulated time always execute in the
+// same order regardless of which component posted first at runtime, which
+// is what keeps multi-stream merges (multi-client arbitration, sharded
+// generation) byte-identical across shard counts and repeat runs.
+//
+// The engine's clock jumps: popping an event scheduled later than `now`
+// advances the clock straight to the event's time, so an idle gap of any
+// length costs O(1) host work. The pre-refactor behaviour — advancing
+// wall-clock-style through the gap — is preserved as a reference mode
+// (AdvanceMode::kTimeStepped): the clock walks the same interval in fixed
+// quanta with a poll per step. Both modes execute the same events at the
+// same times and produce byte-identical simulation results; only host
+// time differs. The stepped mode is the differential-testing baseline
+// and the denominator of bench/bench_throughput's speedup column.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace uvmsim {
+
+/// Stable component ids used as the second key of the event order. Lower
+/// ids win ties at equal timestamps.
+namespace components {
+constexpr std::uint32_t kGpu = 0;          // fault generation, windows
+constexpr std::uint32_t kDriver = 1;       // interrupts, batch servicing
+constexpr std::uint32_t kCounters = 2;     // access-counter channel
+constexpr std::uint32_t kInterconnect = 3; // DMA / copy-engine completions
+constexpr std::uint32_t kHostOs = 4;       // host-OS callbacks
+constexpr std::uint32_t kClientBase = 16;  // multi-client: client i -> 16+i
+}  // namespace components
+
+/// How EventEngine::advance_to covers a time interval.
+enum class AdvanceMode : std::uint8_t {
+  kEventDriven,  // jump: idle gaps are skipped in O(1)
+  kTimeStepped,  // reference mode: walk the gap in fixed quanta + poll
+};
+
+struct EngineConfig {
+  AdvanceMode mode = AdvanceMode::kEventDriven;
+
+  /// Quantum for kTimeStepped — the polling granularity the pre-refactor
+  /// runner effectively advanced at. Ignored in kEventDriven.
+  SimTime step_quantum_ns = 100;
+
+  /// Host threads for sharded event execution (per-SM fault generation,
+  /// per-VABlock batch preprocessing, per-client streams). 1 = inline,
+  /// no threads spawned; results are byte-identical for every value.
+  unsigned shards = 1;
+};
+
+class EventEngine {
+ public:
+  using EventId = std::uint64_t;
+  using Handler = std::function<void(SimTime now)>;
+
+  struct Stats {
+    std::uint64_t posted = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;       // cancel() + reschedule() removals
+    std::uint64_t idle_ns_skipped = 0; // clock jumped over this much idle
+    std::uint64_t clock_advances = 0;  // advance_to calls that moved time
+    std::uint64_t quantum_steps = 0;   // kTimeStepped: quanta walked
+    std::size_t max_queue_depth = 0;
+  };
+
+  explicit EventEngine(EngineConfig config = {}) : config_(config) {}
+
+  const EngineConfig& config() const noexcept { return config_; }
+  SimTime now() const noexcept { return now_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  bool empty() const noexcept { return live_.empty(); }
+  std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Earliest live event's scheduled time; nullopt when empty.
+  std::optional<SimTime> next_event_time() const;
+
+  /// Schedule `handler` at simulated `time` on behalf of `component`.
+  /// Times in the past are legal (the event fires "immediately": the
+  /// clock never moves backwards, so it executes at the current now).
+  EventId post(SimTime time, std::uint32_t component, Handler handler);
+
+  /// Remove a pending event. Returns false if it already executed or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Move a pending event to `new_time`, keeping its component and
+  /// handler. The event's order against same-time events is re-derived
+  /// from a fresh sequence number (a rescheduled event behaves exactly
+  /// like a newly posted one). Returns false if the event already
+  /// executed or was cancelled.
+  bool reschedule(EventId id, SimTime new_time);
+
+  /// Pop and execute the earliest live event, advancing the clock to its
+  /// time first. Returns false when no live event remains.
+  bool step();
+
+  /// Execute events until the queue drains. Handlers may post further
+  /// events; they are executed in key order like any other.
+  void run();
+
+  /// Move the clock forward to `t` (no-op when t <= now). In
+  /// kEventDriven mode this is a jump; in kTimeStepped it walks quantum
+  /// by quantum, invoking the idle poll each step. Handlers call this to
+  /// charge compute/service durations onto the timeline.
+  void advance_to(SimTime t);
+
+  /// advance_to(now + delta).
+  void advance_by(SimTime delta) { advance_to(now_ + delta); }
+
+  /// Reset the clock for a new run-stream segment (must be monotonic).
+  /// Pending events must have drained first.
+  void reset_clock(SimTime t);
+
+  /// kTimeStepped per-quantum poll — models the readiness check the
+  /// wall-clock-style runner performed every step. Optional.
+  void set_idle_poll(std::function<void()> poll) {
+    idle_poll_ = std::move(poll);
+  }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint32_t component;
+    std::uint64_t seq;  // live sequence; stale entries are skipped on pop
+    EventId id;
+
+    bool operator>(const HeapEntry& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      if (component != o.component) return component > o.component;
+      return seq > o.seq;
+    }
+  };
+
+  struct LiveEvent {
+    Handler handler;
+    std::uint64_t seq;  // matches exactly one live heap entry
+    std::uint32_t component = 0;
+  };
+
+  // Drops cancelled/rescheduled heap heads. Logically const: the set of
+  // live events is unchanged, only dead heap entries are reclaimed.
+  void pop_stale() const;
+
+  EngineConfig config_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                              std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<EventId, LiveEvent> live_;
+  std::function<void()> idle_poll_;
+  Stats stats_;
+};
+
+}  // namespace uvmsim

@@ -1,7 +1,8 @@
 #include "core/multi_client.hpp"
 
-#include <limits>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
 namespace uvmsim {
 
@@ -10,8 +11,17 @@ MultiClientSystem::MultiClientSystem(SystemConfig config,
     : config_(config) {
   clients_.reserve(num_clients);
   for (std::uint32_t i = 0; i < num_clients; ++i) {
-    clients_.push_back(
-        std::make_unique<Client>(config_, config_.seed + 0x9E37 * (i + 1)));
+    clients_.push_back(std::make_unique<Client>(
+        config_, config_.seed + 0x9E37 * (i + 1), config_.obs.trace));
+  }
+  if (config_.engine.shards > 1) {
+    shard_exec_ = std::make_unique<ShardExecutor>(config_.engine.shards);
+    // Dedup sharding inside each client's driver reuses the same lanes;
+    // handle_batch only ever runs from the arbitration thread (between
+    // fan-outs), so the executor is never re-entered.
+    for (auto& client : clients_) {
+      client->driver.set_shard_executor(shard_exec_.get());
+    }
   }
 }
 
@@ -24,9 +34,26 @@ MultiClientResult MultiClientSystem::run(
 
   MultiClientResult result;
   result.per_client.resize(clients_.size());
+  EventEngine engine(config_.engine);
 
-  // Allocate and launch everything at t = 0.
-  SimTime now = 0;
+  // Run fn(client) for every client in `work`. Each client's lane touches
+  // only that client's driver/GPU/accumulators, so the shard fan-out is
+  // race-free and byte-identical to the serial order; the barrier at the
+  // end is the arbitration synchronization point.
+  const auto fan_out = [&](const std::vector<Client*>& work,
+                           const std::function<void(Client&)>& fn) {
+    if (shard_exec_ && work.size() > 1) {
+      shard_exec_->parallel_for(work.size(),
+                                [&](std::size_t i) { fn(*work[i]); });
+    } else {
+      for (Client* c : work) fn(*c);
+    }
+  };
+
+  // Allocate serially (cheap bookkeeping), then launch + first fault
+  // generation window for every client on the shard lanes at t = 0.
+  std::vector<Client*> all;
+  all.reserve(clients_.size());
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     Client& c = *clients_[i];
     const PageId base = c.driver.va_space().total_pages();
@@ -35,75 +62,90 @@ MultiClientResult MultiClientSystem::run(
                              alloc.advise);
     }
     c.gpu.launch(specs[i].kernel, base);
-    const auto gen = c.gpu.generate(now, c.driver);
+    all.push_back(&c);
+  }
+  fan_out(all, [&](Client& c) {
+    const auto gen = c.gpu.generate(engine.now(), c.driver);
     c.compute_ns += gen.compute_ns +
                     gen.remote_requests *
                         config_.gpu.remote_request_pipelined_ns;
-  }
+  });
 
   const std::uint64_t max_batches = 4'000'000;
   std::uint64_t batches = 0;
 
   for (;;) {
-    // Pick the client whose earliest arrived-or-pending fault is oldest;
-    // the single worker serves clients in interrupt order.
-    std::size_t next = clients_.size();
-    SimTime next_arrival = std::numeric_limits<SimTime>::max();
+    // Mark finished clients and collect throttle-recovery work, in index
+    // order (recovery is client-local, as in System::run's forced refill).
+    std::vector<Client*> recover;
     bool all_done = true;
-    for (std::size_t i = 0; i < clients_.size(); ++i) {
-      Client& c = *clients_[i];
+    for (auto& entry : clients_) {
+      Client& c = *entry;
       if (client_finished(c)) {
         if (!c.done) {
           c.done = true;
-          c.done_at = now;
+          c.done_at = engine.now();
         }
         continue;
       }
       all_done = false;
-      if (c.gpu.fault_buffer().empty()) {
-        // Throttle-timer recovery, as in System::run.
-        c.gpu.force_token_refill();
-        c.gpu.on_replay();
-        const auto gen = c.gpu.generate(now, c.driver);
-        c.compute_ns += gen.compute_ns;
-        if (c.gpu.fault_buffer().empty()) {
-          if (client_finished(c)) continue;
-          throw std::logic_error("uvmsim: multi-client fault wedge");
-        }
-      }
-      const SimTime arrival = *c.gpu.fault_buffer().next_arrival();
-      if (arrival < next_arrival) {
-        next_arrival = arrival;
-        next = i;
-      }
+      if (c.gpu.fault_buffer().empty()) recover.push_back(&c);
     }
     if (all_done) break;
-    if (next == clients_.size()) continue;  // re-evaluate after recovery
+    fan_out(recover, [&](Client& c) {
+      c.gpu.force_token_refill();
+      c.gpu.on_replay();
+      const auto gen = c.gpu.generate(engine.now(), c.driver);
+      c.compute_ns += gen.compute_ns;
+      if (c.gpu.fault_buffer().empty() && !client_finished(c)) {
+        throw std::logic_error("uvmsim: multi-client fault wedge");
+      }
+    });
 
-    Client& c = *clients_[next];
-    now = std::max(now, next_arrival) +
-          c.driver.pcie().config().interrupt_latency_ns +
-          c.driver.config().wakeup_ns;
+    // Every contending client posts its earliest fault arrival; the
+    // engine's (time, component) key hands the worker the oldest one,
+    // ties at equal timestamps going to the lowest client index.
+    Client* selected = nullptr;
+    std::vector<EventEngine::EventId> wakeups;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      Client& c = *clients_[i];
+      if (client_finished(c)) continue;
+      const auto arrival = c.gpu.fault_buffer().next_arrival();
+      if (!arrival) continue;  // finished during recovery this round
+      wakeups.push_back(engine.post(
+          *arrival, components::kClientBase + static_cast<std::uint32_t>(i),
+          [&selected, &c](SimTime) { selected = &c; }));
+    }
+    if (wakeups.empty()) continue;  // recovery emptied the field
+    engine.step();  // advances the clock to the winning arrival
+    // The losers' wakeups are stale — their arrival picture changes once
+    // the worker services the winner — so they re-post next round.
+    for (const auto id : wakeups) engine.cancel(id);
+
+    Client& c = *selected;
+    engine.advance_by(c.driver.pcie().config().interrupt_latency_ns +
+                      c.driver.config().wakeup_ns);
 
     // Service this client's arrived batches; other clients' faults queue.
     for (;;) {
       auto raw = c.gpu.fault_buffer().drain_arrived(
-          c.driver.effective_batch_size(), now);
+          c.driver.effective_batch_size(), engine.now());
       if (raw.empty()) break;
-      const BatchRecord& record = c.driver.handle_batch(raw, now);
+      const BatchRecord& record = c.driver.handle_batch(raw, engine.now());
       result.worker_busy_ns += record.duration_ns();
-      now = record.end_ns;
+      engine.advance_to(record.end_ns);
 
       if (c.driver.config().flush_on_replay) {
-        c.gpu.fault_buffer().flush_arrived(now);
+        c.gpu.fault_buffer().flush_arrived(engine.now());
       }
       c.gpu.on_replay();
-      const auto gen = c.gpu.generate(now, c.driver);
-      const SimTime advance =
-          gen.compute_ns + gen.remote_requests *
-                               config_.gpu.remote_request_pipelined_ns;
-      c.compute_ns += advance;
-      now += advance;
+      const auto gen = c.gpu.generate(engine.now(), c.driver);
+      c.compute_ns += gen.compute_ns +
+                      gen.remote_requests *
+                          config_.gpu.remote_request_pipelined_ns;
+      engine.advance_by(gen.compute_ns +
+                        gen.remote_requests *
+                            config_.gpu.remote_request_pipelined_ns);
 
       if (++batches > max_batches) {
         throw std::logic_error("uvmsim: multi-client batch guard exceeded");
@@ -111,13 +153,14 @@ MultiClientResult MultiClientSystem::run(
     }
   }
 
-  result.makespan_ns = now;
+  result.makespan_ns = engine.now();
   result.batches_serviced = batches;
+  engine_stats_ = engine.stats();
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     Client& c = *clients_[i];
     RunResult& r = result.per_client[i];
     r.log = c.driver.take_log();
-    r.kernel_time_ns = c.done ? c.done_at : now;
+    r.kernel_time_ns = c.done ? c.done_at : engine.now();
     for (const auto& rec : r.log) r.batch_time_ns += rec.duration_ns();
     r.gpu_compute_ns = c.compute_ns;
     r.total_faults = c.gpu.total_faults_emitted();

@@ -12,6 +12,16 @@
 // ONE driver worker on a shared timeline: while the worker services
 // client A, client B's arrived faults wait. The per-client slowdown
 // versus a standalone run measures the cross-device interference.
+//
+// Arbitration runs on the discrete-event engine: each contending client
+// posts its earliest fault arrival as an event keyed (time, client), so
+// the worker always wakes for the oldest arrival and ties at equal
+// timestamps deterministically favor the lowest client index. With
+// SystemConfig::engine.shards > 1, the independent per-client fault
+// generation streams (launch and throttle recovery) execute on host
+// shard lanes and merge at the arbitration barrier — per-client results
+// are byte-identical for every shard count because each client's state
+// is touched only by its own lane.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +42,10 @@ struct MultiClientResult {
 class MultiClientSystem {
  public:
   /// Every client gets the same per-GPU configuration (its own GPU memory
-  /// of config.gpu.memory_bytes); seeds are decorrelated per client.
+  /// of config.gpu.memory_bytes); seeds are decorrelated per client. With
+  /// config.obs.trace set, each client records into its OWN tracer (one
+  /// timeline per client — see client_tracer), keeping trace streams
+  /// isolated under contention.
   MultiClientSystem(SystemConfig config, std::uint32_t num_clients);
 
   /// Launch specs[i] on client i (specs.size() must equal num_clients)
@@ -45,13 +58,33 @@ class MultiClientSystem {
   }
   UvmDriver& driver(std::uint32_t client) { return clients_.at(client)->driver; }
 
+  /// Client i's private trace; null unless config.obs.trace was set.
+  const Tracer* client_tracer(std::uint32_t client) const {
+    return clients_.at(client)->tracer.get();
+  }
+
+  /// Event-engine stats of the last run() (arbitration events, idle ns
+  /// skipped between arrivals, …).
+  const EventEngine::Stats& engine_stats() const noexcept {
+    return engine_stats_;
+  }
+
  private:
   struct Client {
-    Client(const SystemConfig& config, std::uint64_t seed)
-        : driver(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
-                 config.pcie),
-          gpu(config.gpu, seed) {}
+    Client(const SystemConfig& config, std::uint64_t seed, bool trace)
+        : tracer(trace ? std::make_unique<Tracer>() : nullptr),
+          driver(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
+                 config.pcie, nullptr, Obs{tracer.get(), nullptr}),
+          gpu(config.gpu, seed) {
+      gpu.set_obs(Obs{tracer.get(), nullptr});
+      if (tracer) {
+        tracer->set_track_name(tracks::kDriver, "uvm driver");
+        tracer->set_track_name(tracks::kGpu, "gpu");
+      }
+    }
 
+    std::unique_ptr<Tracer> tracer;  // must precede driver/gpu (they hold
+                                     // pointers); null = tracing off
     UvmDriver driver;
     GpuEngine gpu;
     SimTime compute_ns = 0;
@@ -65,6 +98,12 @@ class MultiClientSystem {
 
   SystemConfig config_;
   std::vector<std::unique_ptr<Client>> clients_;
+  // Host fork/join lanes for the per-client generation fan-out; null when
+  // engine.shards <= 1. Client drivers also borrow it for sharded batch
+  // dedup (always invoked from the arbitration thread, never from inside
+  // a fan-out, so the lanes are never re-entered).
+  std::unique_ptr<ShardExecutor> shard_exec_;
+  EventEngine::Stats engine_stats_;
 };
 
 }  // namespace uvmsim

@@ -6,9 +6,13 @@
 // and returns results in job order, so a sweep's output is byte-identical
 // to its serial equivalent regardless of thread interleaving.
 //
-// This parallelizes the *host* across simulations — distinct from
+// This parallelizes the *host* across simulations — distinct from both
 // DriverConfig::parallelism, which models parallelism *inside* one
-// simulated driver (uvm/lpt_schedule.hpp).
+// simulated driver (uvm/lpt_schedule.hpp), and common/shard_executor.hpp,
+// which shards host work *within* one simulation (enabled by
+// SystemConfig::engine.shards). The two compose safely: a System run on
+// this pool defaults to engine.shards = 1 and so spawns no further
+// threads of its own.
 #pragma once
 
 #include <cstddef>

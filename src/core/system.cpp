@@ -1,7 +1,10 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace uvmsim {
 
@@ -10,9 +13,26 @@ System::System(SystemConfig config)
       injector_(config.driver.inject),
       driver_(config.driver, config.gpu.memory_bytes, config.gpu.num_sms,
               config.pcie, &injector_, obs_handle()),
-      gpu_(config.gpu, config.seed) {
+      gpu_(config.gpu, config.seed),
+      engine_(config.engine) {
   gpu_.set_fault_injector(&injector_);
   gpu_.set_obs(obs_handle());
+  // kTimeStepped reference mode: each quantum performs the full readiness
+  // scan a polling runner pays on every step — fault-buffer arrival,
+  // kernel completion, and (when modeled) the access-counter buffer. The
+  // counter keeps the reads observable so the scan cannot be elided.
+  engine_.set_idle_poll([this] {
+    std::uint64_t ready = 0;
+    ready += gpu_.fault_buffer().next_arrival().has_value() ? 1u : 0u;
+    ready += gpu_.all_done() ? 1u : 0u;
+    if (counters_) ready += counters_->empty() ? 0u : 1u;
+    idle_poll_reads_ += ready;
+  });
+  if (config_.engine.shards > 1) {
+    shard_exec_ = std::make_unique<ShardExecutor>(config_.engine.shards);
+    gpu_.set_shard_executor(shard_exec_.get());
+    driver_.set_shard_executor(shard_exec_.get());
+  }
   if (config_.driver.access_counters.enabled) {
     // The driver programs the counter registers at init; the GPU engine
     // feeds the unit at µTLB resolution and the driver services it after
@@ -62,7 +82,7 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   }
 
   RunResult result;
-  const SimTime t0 = now_;
+  const SimTime t0 = engine_.now();
   const std::uint64_t faults_before = gpu_.total_faults_emitted();
   const std::uint64_t dups_before = gpu_.total_duplicate_emissions();
   const std::uint64_t remote_before = gpu_.remote_accesses();
@@ -89,49 +109,83 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
   Tracer* const tracer = config_.obs.trace ? &tracer_ : nullptr;
   MetricsRegistry* const metrics = config_.obs.metrics ? &metrics_ : nullptr;
 
+  // ---- Event chain ----------------------------------------------------
+  // The run is a chain of discrete events on engine_. Each handler does
+  // its component's work at the event's timestamp, charges durations via
+  // advance_to/advance_by, and posts the successor event; idle gaps
+  // between an event and its successor are covered by the engine (jumped
+  // in kEventDriven, walked quantum-by-quantum in kTimeStepped). The
+  // handlers below perform the same operations, in the same order, with
+  // the same clock arithmetic as the retired imperative loop, so fault
+  // logs, traces, and metrics are byte-identical by construction.
+
+  EventEngine& eng = engine_;
+
   // One GPU window: let every runnable warp issue until stalled, advance
   // simulated time by the window's compute share, and trace the window.
   const auto run_gpu_window = [&] {
-    const SimTime g0 = now_;
-    const auto g = gpu_.generate(now_, driver_);
-    now_ += g.compute_ns +
-            g.remote_requests * config_.gpu.remote_request_pipelined_ns;
+    const SimTime g0 = eng.now();
+    const auto g = gpu_.generate(eng.now(), driver_);
+    eng.advance_by(g.compute_ns +
+                   g.remote_requests *
+                       config_.gpu.remote_request_pipelined_ns);
     result.gpu_compute_ns += g.compute_ns;
-    if (tracer && (now_ > g0 || g.faults_pushed > 0)) {
-      tracer->span(tracks::kGpu, "compute", g0, now_,
+    if (tracer && (eng.now() > g0 || g.faults_pushed > 0)) {
+      tracer->span(tracks::kGpu, "compute", g0, eng.now(),
                    {{"faults", g.faults_pushed},
                     {"duplicates", g.duplicate_pushes},
                     {"remote", g.remote_requests}});
     }
   };
 
-  gpu_.launch(spec.kernel, base_page);
-  run_gpu_window();
-
-  // Driver worker loop, alternating with GPU fault generation. The guard
-  // bounds total batches; real runs are far below it.
+  // The batch guard bounds total batches; real runs are far below it.
   const std::uint64_t max_batches =
       1'000'000 + 16 * spec.kernel.total_accesses();
   std::uint64_t batches = 0;
+  SimTime pending_first = 0;  // earliest arrival behind the next interrupt
 
-  while (!gpu_.all_done() || !gpu_.fault_buffer().empty()) {
-    if (gpu_.fault_buffer().empty()) {
-      // GPU made no faults but is not done: every runnable access is either
-      // blocked by the throttle with a drained buffer (possible only after
-      // hardware drops) or awaiting a replay. Model the throttle-timer
-      // expiry: refill tokens, replay, regenerate.
-      ++result.forced_throttle_refills;
-      if (tracer) tracer->instant(tracks::kSim, "forced_token_refill", now_);
-      if (metrics) metrics->add("sim.forced_token_refills");
-      gpu_.force_token_refill();
-      gpu_.on_replay();
-      run_gpu_window();
-      if (gpu_.fault_buffer().empty()) {
-        if (gpu_.all_done()) break;
-        throw std::logic_error("uvmsim: fault generation wedged");
-      }
+  // Kernel completion: record kernel time, then drain the counter
+  // channel. Every fault is serviced, yet remote traffic from late GPU
+  // windows can leave the notification buffer non-empty with no fault
+  // interrupt left to piggyback on; the counter interrupt wakes the
+  // driver one more time (real nvidia-uvm services access counters
+  // between kernels too). Charged after kernel completion: an iterative
+  // workload's next launch finds its hot regions promoted.
+  const auto finish_kernel = [&] {
+    result.kernel_time_ns = eng.now() - t0;
+    if (counters_ && !counters_->empty()) {
+      const SimTime wake = std::max(eng.now(), counters_->next_arrival()) +
+                           driver_.pcie().config().interrupt_latency_ns +
+                           driver_.config().wakeup_ns;
+      eng.post(wake, components::kCounters, [&](SimTime now) {
+        if (tracer) {
+          tracer->instant(tracks::kSim, "counter_interrupt", now,
+                          {{"pending", counters_->pending()}});
+        }
+        if (metrics) metrics->add("sim.counter_interrupts");
+        while (!counters_->empty()) {
+          eng.advance_to(driver_.service_counter_interrupt(eng.now()).end_ns);
+        }
+      });
     }
+  };
 
+  std::function<void()> schedule_next;
+  std::function<void(SimTime)> service_batch;
+  std::function<void(SimTime)> on_interrupt;
+  std::function<void(SimTime)> on_forced_refill;
+
+  // Decide the successor event after a GPU window: done, wedged-throttle
+  // recovery, or the interrupt for the earliest pending fault.
+  schedule_next = [&] {
+    if (gpu_.all_done() && gpu_.fault_buffer().empty()) {
+      finish_kernel();
+      return;
+    }
+    if (gpu_.fault_buffer().empty()) {
+      eng.post(eng.now(), components::kGpu, on_forced_refill);
+      return;
+    }
     // The interrupt for the earliest pending fault wakes the driver
     // worker; it can only read records the GMMU has written by then. An
     // injected lost interrupt means the wakeup only happens through the
@@ -144,62 +198,82 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     } else {
       irq_extra = injector_.interrupt_delay();
     }
-    now_ = std::max(now_, first) +
-           driver_.pcie().config().interrupt_latency_ns +
-           driver_.config().wakeup_ns + irq_extra;
+    pending_first = first;
+    const SimTime wake = std::max(eng.now(), first) +
+                         driver_.pcie().config().interrupt_latency_ns +
+                         driver_.config().wakeup_ns + irq_extra;
+    eng.post(wake, components::kDriver, on_interrupt);
+  };
+
+  // GPU made no faults but is not done: every runnable access is either
+  // blocked by the throttle with a drained buffer (possible only after
+  // hardware drops) or awaiting a replay. Model the throttle-timer
+  // expiry: refill tokens, replay, regenerate.
+  on_forced_refill = [&](SimTime now) {
+    ++result.forced_throttle_refills;
+    if (tracer) tracer->instant(tracks::kSim, "forced_token_refill", now);
+    if (metrics) metrics->add("sim.forced_token_refills");
+    gpu_.force_token_refill();
+    gpu_.on_replay();
+    run_gpu_window();
+    if (gpu_.fault_buffer().empty()) {
+      if (gpu_.all_done()) {
+        finish_kernel();
+        return;
+      }
+      throw std::logic_error("uvmsim: fault generation wedged");
+    }
+    schedule_next();
+  };
+
+  // The woken driver worker services batches until no arrived faults
+  // remain, then sleeps (faults still in flight re-raise the interrupt
+  // via schedule_next). One event per batch.
+  service_batch = [&](SimTime) {
+    auto raw = gpu_.fault_buffer().drain_arrived(
+        driver_.effective_batch_size(), eng.now());
+    if (raw.empty()) {
+      schedule_next();
+      return;
+    }
+    const std::uint64_t dropped_now =
+        gpu_.fault_buffer().total_dropped_full();
+    const BatchRecord& record = driver_.handle_batch(
+        raw, eng.now(),
+        static_cast<std::uint32_t>(dropped_now - dropped_seen));
+    dropped_seen = dropped_now;
+    eng.advance_to(record.end_ns);
+
+    if (driver_.config().flush_on_replay) {
+      gpu_.fault_buffer().flush_arrived(eng.now());
+    }
+    gpu_.on_replay();
+    run_gpu_window();
+
+    if (++batches > max_batches) {
+      throw std::logic_error("uvmsim: batch guard exceeded (livelock?)");
+    }
+    eng.post(eng.now(), components::kDriver, service_batch);
+  };
+
+  on_interrupt = [&](SimTime now) {
     if (tracer) {
-      tracer->instant(tracks::kSim, "interrupt", now_,
-                      {{"first_arrival", first}});
+      tracer->instant(tracks::kSim, "interrupt", now,
+                      {{"first_arrival", pending_first}});
     }
     if (metrics) metrics->add("sim.interrupts");
+    eng.post(now, components::kDriver, service_batch);
+  };
 
-    // Worker services batches until no arrived faults remain, then sleeps
-    // (faults still in flight re-raise the interrupt — outer loop).
-    for (;;) {
-      auto raw = gpu_.fault_buffer().drain_arrived(
-          driver_.effective_batch_size(), now_);
-      if (raw.empty()) break;
-      const std::uint64_t dropped_now =
-          gpu_.fault_buffer().total_dropped_full();
-      const BatchRecord& record = driver_.handle_batch(
-          raw, now_, static_cast<std::uint32_t>(dropped_now - dropped_seen));
-      dropped_seen = dropped_now;
-      now_ = record.end_ns;
-
-      if (driver_.config().flush_on_replay) {
-        gpu_.fault_buffer().flush_arrived(now_);
-      }
-      gpu_.on_replay();
-      run_gpu_window();
-
-      if (++batches > max_batches) {
-        throw std::logic_error("uvmsim: batch guard exceeded (livelock?)");
-      }
-    }
-  }
-
-  result.kernel_time_ns = now_ - t0;
-
-  // The kernel is done but the counter channel may not be: every fault is
-  // serviced, yet remote traffic from late GPU windows can leave the
-  // notification buffer non-empty with no fault interrupt left to
-  // piggyback on. The counter interrupt wakes the driver one more time
-  // and the backlog is drained now (real nvidia-uvm services access
-  // counters between kernels too). Charged after kernel completion: an
-  // iterative workload's next launch finds its hot regions promoted.
-  if (counters_ && !counters_->empty()) {
-    now_ = std::max(now_, counters_->next_arrival()) +
-           driver_.pcie().config().interrupt_latency_ns +
-           driver_.config().wakeup_ns;
-    if (tracer) {
-      tracer->instant(tracks::kSim, "counter_interrupt", now_,
-                      {{"pending", counters_->pending()}});
-    }
-    if (metrics) metrics->add("sim.counter_interrupts");
-    while (!counters_->empty()) {
-      now_ = driver_.service_counter_interrupt(now_).end_ns;
-    }
-  }
+  // Kernel launch seeds the chain; run() drains it (the chain ends when
+  // finish_kernel posts nothing further).
+  eng.post(eng.now(), components::kGpu, [&](SimTime) {
+    gpu_.launch(spec.kernel, base_page);
+    run_gpu_window();
+    schedule_next();
+  });
+  eng.run();
+  // ---- End event chain ------------------------------------------------
 
   result.log.assign(driver_.log().begin() + log_before, driver_.log().end());
   for (const auto& rec : result.log) result.batch_time_ns += rec.duration_ns();

@@ -14,6 +14,8 @@
 #include <memory>
 
 #include "common/fault_inject.hpp"
+#include "common/shard_executor.hpp"
+#include "core/event_engine.hpp"
 #include "gpu/access_counters.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/gpu_engine.hpp"
@@ -30,6 +32,7 @@ struct SystemConfig {
   DriverConfig driver;
   PcieConfig pcie;
   ObsConfig obs;                // tracing/metrics; both off by default
+  EngineConfig engine;          // event engine mode + host shard count
   std::uint64_t seed = 0x5C21;  // fault-jitter / duplicate-draw seed
 };
 
@@ -111,6 +114,18 @@ class System {
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
   MetricsRegistry& metrics() noexcept { return metrics_; }
 
+  /// The discrete-event engine driving run(); stats accumulate across
+  /// runs (events posted/executed, idle ns skipped, quantum steps).
+  const EventEngine& engine() const noexcept { return engine_; }
+  const EventEngine::Stats& engine_stats() const noexcept {
+    return engine_.stats();
+  }
+
+  /// Host shard lanes in use (1 when sharding is off).
+  unsigned shards() const noexcept {
+    return shard_exec_ ? shard_exec_->shards() : 1;
+  }
+
  private:
   /// The nullable handle handed to every layer: points at the members
   /// above for whichever sinks SystemConfig::obs enables.
@@ -128,7 +143,11 @@ class System {
   std::unique_ptr<AccessCounterUnit> counters_;
   UvmDriver driver_;
   GpuEngine gpu_;
-  SimTime now_ = 0;  // advances monotonically across run() calls
+  EventEngine engine_;  // clock advances monotonically across run() calls
+  // Host fork/join lanes for sharded event execution; null when
+  // engine.shards <= 1 (strictly single-threaded, the default).
+  std::unique_ptr<ShardExecutor> shard_exec_;
+  std::uint64_t idle_poll_reads_ = 0;  // kTimeStepped readiness probes
   PageId last_base_page_ = 0;
   bool has_run_ = false;
 };

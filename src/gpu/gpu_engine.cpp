@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/shard_executor.hpp"
+
 namespace uvmsim {
+
+namespace {
+// Below this many distinct frontier pages a fork/join cycle costs more
+// than the classify calls it parallelizes.
+constexpr std::size_t kMinShardedClassifyPages = 256;
+}  // namespace
 
 void GpuEngine::WarpRt::load_group() {
   if (!prog || group >= prog->groups.size()) {
@@ -120,6 +128,54 @@ void GpuEngine::emit_fault(PageId page, AccessType type, std::uint32_t sm,
   }
 }
 
+void GpuEngine::build_classify_cache(const ResidencyOracle& residency) {
+  cls_valid_ = false;
+  if (!shard_exec_ || !shard_exec_->parallel()) return;
+
+  // Candidate set: the current access frontier — every pending/reissue
+  // access of the warps' current groups. Pages first classified deeper
+  // into the window (later groups, backfilled blocks) miss the cache and
+  // fall back to a direct query; correctness never depends on coverage.
+  cls_pages_.clear();
+  for (const auto& block : active_blocks_) {
+    for (const auto& warp : block.warps) {
+      if (warp.finished) continue;
+      const auto& accesses = warp.prog->groups[warp.group].accesses;
+      for (std::size_t i = 0; i < accesses.size(); ++i) {
+        if (warp.state[i] == kPending || warp.state[i] == kReissue) {
+          cls_pages_.push_back(accesses[i].page + page_offset_);
+        }
+      }
+    }
+  }
+  std::sort(cls_pages_.begin(), cls_pages_.end());
+  cls_pages_.erase(std::unique(cls_pages_.begin(), cls_pages_.end()),
+                   cls_pages_.end());
+  if (cls_pages_.size() < kMinShardedClassifyPages) return;
+
+  // classify() is const on the driver side and residency only mutates
+  // between windows, so the shards read shared state concurrently and
+  // write disjoint cls_loc_ slots: race-free and value-identical to the
+  // serial queries it replaces.
+  cls_loc_.resize(cls_pages_.size());
+  shard_exec_->parallel_for(cls_pages_.size(), [&](std::size_t i) {
+    cls_loc_[i] = residency.classify(cls_pages_[i]);
+  });
+  cls_valid_ = true;
+}
+
+ResidencyOracle::PageLocation GpuEngine::classify_page(
+    PageId page, const ResidencyOracle& residency) const {
+  if (cls_valid_) {
+    const auto it =
+        std::lower_bound(cls_pages_.begin(), cls_pages_.end(), page);
+    if (it != cls_pages_.end() && *it == page) {
+      return cls_loc_[static_cast<std::size_t>(it - cls_pages_.begin())];
+    }
+  }
+  return residency.classify(page);
+}
+
 bool GpuEngine::advance_warp(BlockRt& block, WarpRt& warp, SimTime now,
                              const ResidencyOracle& residency,
                              GenerateResult& result) {
@@ -139,7 +195,7 @@ bool GpuEngine::advance_warp(BlockRt& block, WarpRt& warp, SimTime now,
       const PageAccess& access = group.accesses[i];
       const PageId page = access.page + page_offset_;
 
-      const auto location = residency.classify(page);
+      const auto location = classify_page(page, residency);
 
       if (access.type == AccessType::kPrefetch) {
         // Fire-and-forget: no scoreboard, no µTLB entry, no throttle token,
@@ -225,6 +281,7 @@ GpuEngine::GenerateResult GpuEngine::generate(SimTime now,
   const std::uint32_t warps_at_start = std::max(1u, active_warps_);
 
   emit_spurious_refaults(now, result);
+  build_classify_cache(residency);
 
   bool any_retired = true;
   while (any_retired) {
@@ -269,6 +326,10 @@ GpuEngine::GenerateResult GpuEngine::generate(SimTime now,
   // The hardware buffer is written in arrival order; emission order above
   // interleaves SM streams, so restore timestamp order for the reader.
   buffer_.sort_pending();
+
+  // The cache is only valid within this window: the driver mutates
+  // residency before the next generate() call.
+  cls_valid_ = false;
 
   // Completed warp compute runs in parallel across warps; charge the
   // average serial share as the window's wall-clock contribution.

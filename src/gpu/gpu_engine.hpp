@@ -34,6 +34,8 @@
 
 namespace uvmsim {
 
+class ShardExecutor;
+
 /// How the engine asks the memory system whether a page is GPU-resident.
 class ResidencyOracle {
  public:
@@ -96,6 +98,17 @@ class GpuEngine {
   /// members; the engine does not own them.
   void set_obs(Obs obs) noexcept { obs_ = obs; }
 
+  /// Attach host shard lanes: each generate() window pre-classifies the
+  /// frontier's pages against the residency oracle in parallel (classify
+  /// is const — residency only changes between windows), and the warp
+  /// advance reads the cache instead of re-querying per access. Purely a
+  /// host-side speedup: every cached value equals the direct query, so
+  /// emission order, RNG draws, and timestamps are unchanged. May be
+  /// null (the default): no cache, no threads.
+  void set_shard_executor(ShardExecutor* exec) noexcept {
+    shard_exec_ = exec;
+  }
+
   /// Driver-issued fault replay: clear µTLB waiting state, refill SM
   /// throttle tokens, return waiting accesses to pending.
   void on_replay();
@@ -147,6 +160,9 @@ class GpuEngine {
   };
 
   void schedule_pending_blocks();
+  void build_classify_cache(const ResidencyOracle& residency);
+  ResidencyOracle::PageLocation classify_page(
+      PageId page, const ResidencyOracle& residency) const;
   bool advance_warp(BlockRt& block, WarpRt& warp, SimTime now,
                     const ResidencyOracle& residency, GenerateResult& result);
   void emit_fault(PageId page, AccessType type, std::uint32_t sm,
@@ -179,6 +195,13 @@ class GpuEngine {
   std::vector<std::uint64_t> sm_arrival_cursor_;  // per-SM arrival pacing
   std::uint64_t window_seq_ = 0;      // one per generate() call
   PageId page_offset_ = 0;
+
+  // Sharded per-window residency pre-classification (see
+  // set_shard_executor). cls_pages_ is sorted unique; cls_loc_ parallel.
+  ShardExecutor* shard_exec_ = nullptr;  // not owned; null = disabled
+  bool cls_valid_ = false;
+  std::vector<PageId> cls_pages_;
+  std::vector<ResidencyOracle::PageLocation> cls_loc_;
 };
 
 }  // namespace uvmsim

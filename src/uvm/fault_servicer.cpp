@@ -188,7 +188,8 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
   }
 
   // -- Dedup / classify ----------------------------------------------------
-  DedupResult dedup = dedup_faults(raw);
+  DedupResult dedup = shard_exec_ ? dedup_faults_sharded(raw, *shard_exec_)
+                                  : dedup_faults(raw);
   record.phases.dedup_ns = config_.per_fault_dedup_ns * raw.size();
   record.counters.unique_faults =
       static_cast<std::uint32_t>(dedup.unique.size());

@@ -49,6 +49,8 @@
 
 namespace uvmsim {
 
+class ShardExecutor;
+
 class FaultServicer {
  public:
   FaultServicer(const DriverConfig& config, VaSpace& space, GpuMemory& memory,
@@ -61,6 +63,16 @@ class FaultServicer {
   /// start + sum of phase costs).
   BatchRecord service(const std::vector<FaultRecord>& raw, SimTime start,
                       std::uint32_t batch_id);
+
+  /// Attach host shard lanes: large batches run the dedup/classify stage
+  /// sharded by page (uvm/dedup.hpp), merged deterministically — the
+  /// result is bit-identical to serial dedup. The per-VABlock servicing
+  /// loop itself stays serial: eviction inside one block's service can
+  /// change another queued block's residency, so block services are not
+  /// independent work items. May be null (the default).
+  void set_shard_executor(ShardExecutor* exec) noexcept {
+    shard_exec_ = exec;
+  }
 
   std::uint64_t total_evictions() const noexcept { return total_evictions_; }
 
@@ -107,6 +119,7 @@ class FaultServicer {
   FaultInjector* injector_;          // may be null (no injection)
   ThrashingDetector* thrash_;        // may be null (no detection)
   Obs obs_;                          // null members = no recording
+  ShardExecutor* shard_exec_ = nullptr;  // not owned; null = serial dedup
   std::uint64_t total_evictions_ = 0;
 };
 

@@ -1,0 +1,266 @@
+// Unit tests for the discrete-event engine (core/event_engine.hpp) and
+// the host shard executor (common/shard_executor.hpp): queue ordering,
+// (time, component, seq) tie-break determinism, idle-gap skipping vs the
+// time-stepped reference mode, cancel/reschedule semantics, and the
+// deterministic fork/join partition.
+#include "core/event_engine.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/shard_executor.hpp"
+
+namespace uvmsim {
+namespace {
+
+TEST(EventEngine, ExecutesInTimeOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  eng.post(300, components::kGpu, [&](SimTime) { order.push_back(3); });
+  eng.post(100, components::kGpu, [&](SimTime) { order.push_back(1); });
+  eng.post(200, components::kGpu, [&](SimTime) { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 300u);
+  EXPECT_EQ(eng.stats().executed, 3u);
+}
+
+TEST(EventEngine, TieBreaksByComponentThenSequence) {
+  EventEngine eng;
+  std::vector<std::string> order;
+  // Same timestamp, posted in an order that disagrees with component ids;
+  // the key (time, component, seq) must win, not insertion order.
+  eng.post(50, components::kDriver, [&](SimTime) { order.push_back("d0"); });
+  eng.post(50, components::kGpu, [&](SimTime) { order.push_back("g0"); });
+  eng.post(50, components::kCounters, [&](SimTime) { order.push_back("c0"); });
+  eng.post(50, components::kGpu, [&](SimTime) { order.push_back("g1"); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"g0", "g1", "d0", "c0"}));
+}
+
+TEST(EventEngine, TieBreakIsDeterministicAcrossRepeats) {
+  // Same posting pattern twice -> identical execution order.
+  const auto run_once = [] {
+    EventEngine eng;
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+      eng.post(10 * (i % 4), static_cast<std::uint32_t>(i % 5),
+               [&order, i](SimTime) { order.push_back(i); });
+    }
+    eng.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EventEngine, SkipsIdleGapsInEventMode) {
+  EventEngine eng;  // default kEventDriven
+  eng.post(1'000'000, components::kGpu, [](SimTime) {});
+  eng.run();
+  EXPECT_EQ(eng.now(), 1'000'000u);
+  EXPECT_EQ(eng.stats().idle_ns_skipped, 1'000'000u);
+  EXPECT_EQ(eng.stats().quantum_steps, 0u);
+}
+
+TEST(EventEngine, SteppedModeWalksQuantaAndPolls) {
+  EngineConfig config;
+  config.mode = AdvanceMode::kTimeStepped;
+  config.step_quantum_ns = 100;
+  EventEngine eng(config);
+  std::uint64_t polls = 0;
+  eng.set_idle_poll([&] { ++polls; });
+  eng.post(1000, components::kGpu, [](SimTime) {});
+  eng.run();
+  EXPECT_EQ(eng.now(), 1000u);
+  EXPECT_EQ(eng.stats().quantum_steps, 10u);
+  EXPECT_EQ(polls, 10u);
+  EXPECT_EQ(eng.stats().idle_ns_skipped, 0u);
+}
+
+TEST(EventEngine, SteppedModeClampsFinalPartialQuantum) {
+  EngineConfig config;
+  config.mode = AdvanceMode::kTimeStepped;
+  config.step_quantum_ns = 300;
+  EventEngine eng(config);
+  eng.post(1000, components::kGpu, [](SimTime) {});
+  eng.run();
+  EXPECT_EQ(eng.now(), 1000u);          // never overshoots the target
+  EXPECT_EQ(eng.stats().quantum_steps, 4u);  // 300+300+300+100
+}
+
+TEST(EventEngine, ModesProduceIdenticalEventTimeline) {
+  // The reference mode must execute the same events at the same times.
+  const auto run_mode = [](AdvanceMode mode) {
+    EngineConfig config;
+    config.mode = mode;
+    EventEngine eng(config);
+    std::vector<std::pair<int, SimTime>> fired;
+    eng.post(500, 1, [&](SimTime t) { fired.emplace_back(1, t); });
+    eng.post(120, 0, [&](SimTime t) {
+      fired.emplace_back(0, t);
+      eng.post(t + 77, 2, [&](SimTime u) { fired.emplace_back(2, u); });
+    });
+    eng.run();
+    return fired;
+  };
+  EXPECT_EQ(run_mode(AdvanceMode::kEventDriven),
+            run_mode(AdvanceMode::kTimeStepped));
+}
+
+TEST(EventEngine, PastTimePostFiresAtCurrentNow) {
+  EventEngine eng;
+  eng.post(500, components::kGpu, [](SimTime) {});
+  eng.run();
+  SimTime fired_at = 0;
+  eng.post(100, components::kGpu, [&](SimTime t) { fired_at = t; });
+  eng.run();
+  EXPECT_EQ(fired_at, 500u);  // clock never moves backwards
+  EXPECT_EQ(eng.now(), 500u);
+}
+
+TEST(EventEngine, CancelPreventsExecution) {
+  EventEngine eng;
+  bool fired = false;
+  const auto id = eng.post(100, components::kGpu,
+                           [&](SimTime) { fired = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));  // already gone
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(eng.stats().cancelled, 1u);
+  EXPECT_EQ(eng.stats().executed, 0u);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(EventEngine, CancelAfterExecutionReturnsFalse) {
+  EventEngine eng;
+  const auto id = eng.post(10, components::kGpu, [](SimTime) {});
+  eng.run();
+  EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(EventEngine, RescheduleMovesAnEventOnce) {
+  EventEngine eng;
+  std::vector<SimTime> fired;
+  const auto id = eng.post(100, components::kGpu,
+                           [&](SimTime t) { fired.push_back(t); });
+  EXPECT_TRUE(eng.reschedule(id, 400));
+  eng.post(200, components::kGpu, [&](SimTime t) { fired.push_back(t); });
+  eng.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{200, 400}));  // moved, fired once
+  EXPECT_FALSE(eng.reschedule(id, 900));  // already executed
+}
+
+TEST(EventEngine, RescheduledEventLosesOldTieBreakSlot) {
+  EventEngine eng;
+  std::vector<int> order;
+  const auto id =
+      eng.post(100, components::kGpu, [&](SimTime) { order.push_back(0); });
+  eng.post(100, components::kGpu, [&](SimTime) { order.push_back(1); });
+  // Rescheduling to the SAME time re-enters the total order as a fresh
+  // post: the event now sequences after its same-time peer.
+  EXPECT_TRUE(eng.reschedule(id, 100));
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(EventEngine, NextEventTimeSeesThroughCancellations) {
+  EventEngine eng;
+  const auto id = eng.post(100, components::kGpu, [](SimTime) {});
+  eng.post(250, components::kGpu, [](SimTime) {});
+  EXPECT_EQ(eng.next_event_time(), std::optional<SimTime>(100));
+  eng.cancel(id);
+  EXPECT_EQ(eng.next_event_time(), std::optional<SimTime>(250));
+  eng.run();
+  EXPECT_EQ(eng.next_event_time(), std::nullopt);
+}
+
+TEST(EventEngine, HandlersCanChainFurtherEvents) {
+  EventEngine eng;
+  std::uint64_t hops = 0;
+  std::function<void(SimTime)> hop = [&](SimTime t) {
+    if (++hops < 10) eng.post(t + 5, components::kDriver, hop);
+  };
+  eng.post(0, components::kDriver, hop);
+  eng.run();
+  EXPECT_EQ(hops, 10u);
+  EXPECT_EQ(eng.now(), 45u);
+  EXPECT_EQ(eng.stats().posted, 10u);
+}
+
+TEST(EventEngine, ResetClockRequiresDrainedQueueAndMonotonicTime) {
+  EventEngine eng;
+  eng.post(100, components::kGpu, [](SimTime) {});
+  EXPECT_THROW(eng.reset_clock(500), std::logic_error);
+  eng.run();
+  EXPECT_THROW(eng.reset_clock(50), std::logic_error);  // backwards
+  eng.reset_clock(500);
+  EXPECT_EQ(eng.now(), 500u);
+}
+
+TEST(ShardExecutor, InlineWhenSingleShard) {
+  ShardExecutor exec(1);
+  EXPECT_FALSE(exec.parallel());
+  std::vector<int> hits(8, 0);
+  exec.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+  EXPECT_EQ(exec.forks(), 0u);  // no fork/join cycle for inline runs
+}
+
+TEST(ShardExecutor, CoversEveryIndexExactlyOnce) {
+  ShardExecutor exec(4);
+  std::vector<std::atomic<int>> hits(1000);
+  exec.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(exec.forks(), 1u);
+}
+
+TEST(ShardExecutor, PartitionIsStaticByIndexModShards) {
+  // Shard-local outputs written without synchronization must be disjoint:
+  // shard s owns exactly the indices i % shards == s.
+  ShardExecutor exec(3);
+  std::vector<int> owner(99, -1);
+  exec.for_each_shard([&](unsigned s) {
+    for (std::size_t i = s; i < owner.size(); i += 3) {
+      owner[i] = static_cast<int>(s);
+    }
+  });
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    EXPECT_EQ(owner[i], static_cast<int>(i % 3));
+  }
+}
+
+TEST(ShardExecutor, RethrowsFirstExceptionByShardIndex) {
+  ShardExecutor exec(4);
+  try {
+    exec.parallel_for(8, [&](std::size_t i) {
+      if (i % 4 == 1) throw std::runtime_error("shard one failed");
+      if (i % 4 == 3) throw std::runtime_error("shard three failed");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard one failed");
+  }
+  // The executor survives a throwing cycle and runs the next one.
+  std::atomic<int> count{0};
+  exec.parallel_for(16, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ShardExecutor, ReusableAcrossManyCycles) {
+  ShardExecutor exec(2);
+  std::atomic<std::uint64_t> total{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    exec.parallel_for(10, [&](std::size_t i) { total += i; });
+  }
+  EXPECT_EQ(total.load(), 50u * 45u);
+  EXPECT_EQ(exec.forks(), 50u);
+}
+
+}  // namespace
+}  // namespace uvmsim

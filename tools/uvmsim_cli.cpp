@@ -118,6 +118,9 @@ int cmd_list() {
               "JSON); `trace` subcommand = run + --trace, --out FILE\n");
   std::printf("driver parallelism (paper §6): --service-policy "
               "serial|vablock|sm --service-workers K\n");
+  std::printf("event engine: --shards N (host lanes; byte-identical for "
+              "every N) --engine event|stepped --step-quantum-ns N "
+              "--engine-stats\n");
   std::printf("fault injection: --inject --inject-seed N "
               "--inject-transfer-err P --inject-dma-err P "
               "--inject-irq-delay-prob P --inject-irq-delay-ns N "
@@ -163,6 +166,21 @@ int cmd_run(const Args& args) {
   cfg.driver.parallelism.workers =
       static_cast<std::uint32_t>(args.get_u64("service-workers", 1));
   cfg.seed = args.get_u64("seed", cfg.seed);
+
+  // Event engine: --shards N host lanes (results are byte-identical for
+  // every N); --engine stepped selects the time-stepped reference mode.
+  cfg.engine.shards =
+      static_cast<unsigned>(args.get_u64("shards", cfg.engine.shards));
+  if (const std::string engine = args.get("engine", "event");
+      engine == "stepped") {
+    cfg.engine.mode = AdvanceMode::kTimeStepped;
+  } else if (engine != "event") {
+    std::fprintf(stderr, "unknown --engine '%s' (event|stepped)\n",
+                 engine.c_str());
+    return 2;
+  }
+  cfg.engine.step_quantum_ns =
+      args.get_u64("step-quantum-ns", cfg.engine.step_quantum_ns);
 
   // A bare --trace/--metrics enables the sink without writing a file
   // (overhead checks); a value is the output path.
@@ -281,6 +299,19 @@ int cmd_run(const Args& args) {
     std::printf("thrashing: pins=%llu throttles=%llu\n",
                 static_cast<unsigned long long>(result.thrash_pins),
                 static_cast<unsigned long long>(result.thrash_throttles));
+  }
+  if (args.flag("engine-stats")) {
+    const auto& es = system.engine_stats();
+    std::printf("engine: mode=%s shards=%u events=%llu posted=%llu "
+                "idle_skipped_ms=%.3f quantum_steps=%llu max_queue=%zu\n",
+                cfg.engine.mode == AdvanceMode::kTimeStepped ? "stepped"
+                                                             : "event",
+                system.shards(),
+                static_cast<unsigned long long>(es.executed),
+                static_cast<unsigned long long>(es.posted),
+                es.idle_ns_skipped / 1e6,
+                static_cast<unsigned long long>(es.quantum_steps),
+                es.max_queue_depth);
   }
   if (cfg.driver.access_counters.enabled) {
     std::printf("counters: notif=%llu serviced=%llu dropped=%llu lost=%llu "
