@@ -82,6 +82,7 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64_nonzero(out, "backoff", p.backoff_ns);
   append_u64_nonzero(out, "throttle", p.throttle_ns);
   append_u64_nonzero(out, "counter", p.counter_ns);
+  append_u64_nonzero(out, "recovery", p.recovery_ns);
 
   const auto& c = record.counters;
   append_u64(out, "raw", c.raw_faults);
@@ -112,6 +113,11 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64_nonzero(out, "pins", c.thrash_pins);
   append_u64_nonzero(out, "throttles", c.thrash_throttles);
   append_u64_nonzero(out, "bufdrop", c.buffer_dropped);
+  append_u64_nonzero(out, "cancelled", c.faults_cancelled);
+  append_u64_nonzero(out, "pgretired", c.pages_retired);
+  append_u64_nonzero(out, "chkretired", c.chunks_retired);
+  append_u64_nonzero(out, "ceresets", c.channel_resets);
+  append_u64_nonzero(out, "gpuresets", c.gpu_resets);
   append_u64_nonzero(out, "ctrnotif", c.ctr_notifications);
   append_u64_nonzero(out, "ctrdrop", c.ctr_dropped);
   append_u64_nonzero(out, "ctrpromoted", c.ctr_pages_promoted);
@@ -210,6 +216,7 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "backoff") p.backoff_ns = u;
       else if (key == "throttle") p.throttle_ns = u;
       else if (key == "counter") p.counter_ns = u;
+      else if (key == "recovery") p.recovery_ns = u;
       else if (key == "raw") c.raw_faults = static_cast<std::uint32_t>(u);
       else if (key == "uniq") c.unique_faults = static_cast<std::uint32_t>(u);
       else if (key == "dup1") c.dup_same_utlb = static_cast<std::uint32_t>(u);
@@ -238,6 +245,11 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "pins") c.thrash_pins = static_cast<std::uint32_t>(u);
       else if (key == "throttles") c.thrash_throttles = static_cast<std::uint32_t>(u);
       else if (key == "bufdrop") c.buffer_dropped = static_cast<std::uint32_t>(u);
+      else if (key == "cancelled") c.faults_cancelled = static_cast<std::uint32_t>(u);
+      else if (key == "pgretired") c.pages_retired = static_cast<std::uint32_t>(u);
+      else if (key == "chkretired") c.chunks_retired = static_cast<std::uint32_t>(u);
+      else if (key == "ceresets") c.channel_resets = static_cast<std::uint32_t>(u);
+      else if (key == "gpuresets") c.gpu_resets = static_cast<std::uint32_t>(u);
       else if (key == "ctrnotif") c.ctr_notifications = static_cast<std::uint32_t>(u);
       else if (key == "ctrdrop") c.ctr_dropped = static_cast<std::uint32_t>(u);
       else if (key == "ctrpromoted") c.ctr_pages_promoted = static_cast<std::uint32_t>(u);

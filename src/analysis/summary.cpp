@@ -79,6 +79,7 @@ BatchPhaseTimes phase_totals(const BatchLog& log) {
     total.backoff_ns += rec.phases.backoff_ns;
     total.throttle_ns += rec.phases.throttle_ns;
     total.counter_ns += rec.phases.counter_ns;
+    total.recovery_ns += rec.phases.recovery_ns;
   }
   return total;
 }
@@ -101,6 +102,7 @@ std::vector<PhaseDistribution> phase_distributions(const BatchLog& log) {
           {"backoff", &BatchPhaseTimes::backoff_ns},
           {"throttle", &BatchPhaseTimes::throttle_ns},
           {"counter", &BatchPhaseTimes::counter_ns},
+          {"recovery", &BatchPhaseTimes::recovery_ns},
       };
 
   std::vector<PhaseDistribution> rows;
@@ -166,6 +168,19 @@ CounterTotals counter_totals(const BatchLog& log) {
     totals.unpins += rec.counters.ctr_unpins;
     totals.evictions += rec.counters.ctr_evictions;
     totals.counter_ns += rec.phases.counter_ns;
+  }
+  return totals;
+}
+
+RecoveryTotals recovery_totals(const BatchLog& log) {
+  RecoveryTotals totals;
+  for (const auto& rec : log) {
+    totals.faults_cancelled += rec.counters.faults_cancelled;
+    totals.pages_retired += rec.counters.pages_retired;
+    totals.chunks_retired += rec.counters.chunks_retired;
+    totals.channel_resets += rec.counters.channel_resets;
+    totals.gpu_resets += rec.counters.gpu_resets;
+    totals.recovery_ns += rec.phases.recovery_ns;
   }
   return totals;
 }

@@ -41,7 +41,7 @@ BatchPhaseTimes phase_totals(const BatchLog& log);
 /// Per-phase distribution across batches (the `analyze --phases` view):
 /// one row per BatchPhaseTimes field, in declaration order, with the
 /// phase's total, mean, and exact sorted-sample percentiles of the
-/// per-batch values. Empty log yields 14 all-zero rows.
+/// per-batch values. Empty log yields 15 all-zero rows.
 struct PhaseDistribution {
   const char* name = "";  // stable phase key ("fetch", "dedup", ...)
   SimTime total_ns = 0;
@@ -102,5 +102,23 @@ struct CounterTotals {
   }
 };
 CounterTotals counter_totals(const BatchLog& log);
+
+/// Fatal-fault recovery totals: the recovery-ladder actions logged by the
+/// RecoveryManager. All-zero for a run with recovery disabled (the
+/// default) or with no fatal fault injected.
+struct RecoveryTotals {
+  std::uint64_t faults_cancelled = 0;  // tier 1: targeted cancellation
+  std::uint64_t pages_retired = 0;     // tier 2: page retirement
+  std::uint64_t chunks_retired = 0;    // tier 2: chunk blacklisting
+  std::uint64_t channel_resets = 0;    // tier 3
+  std::uint64_t gpu_resets = 0;        // tier 4
+  SimTime recovery_ns = 0;             // total recovery-phase time
+
+  bool any() const noexcept {
+    return faults_cancelled || pages_retired || chunks_retired ||
+           channel_resets || gpu_resets || recovery_ns;
+  }
+};
+RecoveryTotals recovery_totals(const BatchLog& log);
 
 }  // namespace uvmsim

@@ -18,7 +18,11 @@ FaultInjector::FaultInjector(const FaultInjectConfig& config)
       dma_rng_(site_stream(config.seed, 2)),
       irq_rng_(site_stream(config.seed, 3)),
       storm_rng_(site_stream(config.seed, 4)),
-      counter_rng_(site_stream(config.seed, 5)) {}
+      counter_rng_(site_stream(config.seed, 5)),
+      ecc_rng_(site_stream(config.seed, 6)),
+      poison_rng_(site_stream(config.seed, 7)),
+      ce_rng_(site_stream(config.seed, 8)),
+      wedge_rng_(site_stream(config.seed, 9)) {}
 
 bool FaultInjector::transfer_error() {
   if (!config_.enabled || config_.transfer_error_prob <= 0.0) return false;
@@ -59,6 +63,39 @@ bool FaultInjector::counter_notification_loss() {
   if (!counter_rng_.bernoulli(config_.counter_loss_prob)) return false;
   ++counter_losses_;
   return true;
+}
+
+bool FaultInjector::ecc_double_bit() {
+  if (!config_.enabled || config_.ecc_double_bit_prob <= 0.0) return false;
+  if (!ecc_rng_.bernoulli(config_.ecc_double_bit_prob)) return false;
+  ++ecc_faults_;
+  return true;
+}
+
+bool FaultInjector::poisoned_page() {
+  if (!config_.enabled || config_.poison_prob <= 0.0) return false;
+  if (!poison_rng_.bernoulli(config_.poison_prob)) return false;
+  ++poison_faults_;
+  return true;
+}
+
+bool FaultInjector::ce_permanent_failure() {
+  if (!config_.enabled || config_.ce_permanent_prob <= 0.0) return false;
+  if (!ce_rng_.bernoulli(config_.ce_permanent_prob)) return false;
+  ++ce_failures_;
+  return true;
+}
+
+bool FaultInjector::fault_buffer_wedge() {
+  if (!config_.enabled || config_.wedge_prob <= 0.0) return false;
+  if (!wedge_rng_.bernoulli(config_.wedge_prob)) return false;
+  ++wedges_;
+  return true;
+}
+
+bool FaultInjector::wedge_needs_gpu_reset() {
+  if (config_.wedge_gpu_reset_frac <= 0.0) return false;
+  return wedge_rng_.bernoulli(config_.wedge_gpu_reset_frac);
 }
 
 }  // namespace uvmsim

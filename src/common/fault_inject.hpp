@@ -14,6 +14,17 @@
 //   * fault servicer    — transient copy-engine (PCIe) transfer errors;
 //   * fault servicer    — transient DMA-map failures (hostos/dma path).
 //
+// Fatal fault classes (sites 6-9; consumed by the recovery ladder in
+// uvm/recovery.hpp, and only probed when DriverConfig::recovery.enabled):
+//   * fault servicer    — double-bit ECC on a resident chunk (page
+//                         retirement, the whole chunk is blacklisted);
+//   * fault servicer    — poisoned page discovered during migration
+//                         (single-page retirement);
+//   * fault servicer    — permanent copy-engine channel failure after the
+//                         transient-retry budget (channel reset);
+//   * System loop       — wedged fault buffer: the HW stops presenting
+//                         records until a channel or full GPU reset.
+//
 // When `enabled` is false every probe is a constant-false branch: no RNG
 // draws, no counters, no timing changes — injection off is a zero-cost
 // abstraction and leaves golden traces bit-identical.
@@ -58,12 +69,39 @@ struct FaultInjectConfig {
   // access-counter unit is wired up (gpu/access_counters.hpp).
   double counter_loss_prob = 0.0;
 
+  // ---- Fatal fault classes (need DriverConfig::recovery.enabled) --------
+  // Double-bit ECC error on a VABlock's resident chunk (per service of a
+  // chunked block): uncorrectable — the chunk must be retired.
+  double ecc_double_bit_prob = 0.0;
+
+  // Poisoned page discovered by the copy engine during a migration (per
+  // migrating block service): that one page is retired to the host.
+  double poison_prob = 0.0;
+
+  // Permanent copy-engine channel failure, probed when a transfer's
+  // transient-retry budget is exhausted: the channel is reset (in-flight
+  // work aborted, reset latency charged) and the copy replayed.
+  double ce_permanent_prob = 0.0;
+
+  // Wedged fault buffer (per interrupt scheduling decision): the HW stops
+  // presenting records until the watchdog escalates to a channel reset —
+  // or, for a fraction `wedge_gpu_reset_frac` of wedges, a full GPU reset.
+  double wedge_prob = 0.0;
+  double wedge_gpu_reset_frac = 0.0;
+
   /// True when the injector can actually fire something.
   bool active() const noexcept {
     return enabled &&
            (transfer_error_prob > 0.0 || dma_map_error_prob > 0.0 ||
             interrupt_delay_prob > 0.0 || interrupt_loss_prob > 0.0 ||
-            storm_prob > 0.0 || counter_loss_prob > 0.0);
+            storm_prob > 0.0 || counter_loss_prob > 0.0 || fatal_active());
+  }
+
+  /// True when any fatal class can fire (recovery ladder required).
+  bool fatal_active() const noexcept {
+    return enabled &&
+           (ecc_double_bit_prob > 0.0 || poison_prob > 0.0 ||
+            ce_permanent_prob > 0.0 || wedge_prob > 0.0);
   }
 };
 
@@ -98,6 +136,25 @@ class FaultInjector {
   /// Is this access-counter notification lost on its way to the buffer?
   bool counter_notification_loss();
 
+  // ---- Fatal probes (sites 6-9; zero draws unless the class is armed) ---
+  /// Does this chunked block's service hit a double-bit ECC error?
+  bool ecc_double_bit();
+
+  /// Does this block's migration discover a poisoned page?
+  bool poisoned_page();
+
+  /// Has this copy-engine channel failed permanently (probed only after
+  /// transient-retry exhaustion)?
+  bool ce_permanent_failure();
+
+  /// Does the fault buffer wedge at this interrupt scheduling decision?
+  bool fault_buffer_wedge();
+
+  /// Severity of the wedge just fired: does clearing it need a full GPU
+  /// reset (true) or does a channel reset suffice (false)? Draws from the
+  /// wedge stream; call exactly once per fault_buffer_wedge() == true.
+  bool wedge_needs_gpu_reset();
+
   // ---- Accounting (what the schedule actually fired) --------------------
   std::uint64_t transfer_errors_injected() const noexcept {
     return transfer_errors_;
@@ -113,6 +170,12 @@ class FaultInjector {
   std::uint64_t counter_notifications_lost() const noexcept {
     return counter_losses_;
   }
+  std::uint64_t ecc_faults_injected() const noexcept { return ecc_faults_; }
+  std::uint64_t poison_faults_injected() const noexcept {
+    return poison_faults_;
+  }
+  std::uint64_t ce_failures_injected() const noexcept { return ce_failures_; }
+  std::uint64_t wedges_injected() const noexcept { return wedges_; }
 
  private:
   FaultInjectConfig config_;
@@ -123,6 +186,10 @@ class FaultInjector {
   Xoshiro256 irq_rng_;
   Xoshiro256 storm_rng_;
   Xoshiro256 counter_rng_;
+  Xoshiro256 ecc_rng_;
+  Xoshiro256 poison_rng_;
+  Xoshiro256 ce_rng_;
+  Xoshiro256 wedge_rng_;
 
   std::uint64_t transfer_errors_ = 0;
   std::uint64_t dma_errors_ = 0;
@@ -130,6 +197,10 @@ class FaultInjector {
   std::uint64_t irq_losses_ = 0;
   std::uint64_t storm_faults_injected_ = 0;
   std::uint64_t counter_losses_ = 0;
+  std::uint64_t ecc_faults_ = 0;
+  std::uint64_t poison_faults_ = 0;
+  std::uint64_t ce_failures_ = 0;
+  std::uint64_t wedges_ = 0;
 };
 
 }  // namespace uvmsim

@@ -52,4 +52,12 @@ constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
   return (a + b - 1) / b;
 }
 
+/// Saturating SimTime addition: accumulators on the retry/backoff path can
+/// see pathological per-op waits (huge caps × large attempt budgets) that
+/// must clamp at the maximum instead of wrapping.
+constexpr SimTime sat_add(SimTime a, SimTime b) noexcept {
+  const SimTime s = a + b;
+  return s < a ? ~SimTime{0} : s;
+}
+
 }  // namespace uvmsim

@@ -51,6 +51,9 @@ System::System(SystemConfig config)
     if (config_.driver.access_counters.enabled) {
       tracer_.set_track_name(tracks::kCounters, "access counters");
     }
+    if (config_.driver.recovery.enabled) {
+      tracer_.set_track_name(tracks::kRecovery, "recovery");
+    }
     if (config_.driver.parallelism.active()) {
       for (unsigned k = 0; k < config_.driver.parallelism.workers; ++k) {
         tracer_.set_track_name(tracks::kWorkerBase + k,
@@ -104,6 +107,10 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
       counters_ ? counters_->total_dropped_full() : 0;
   const std::uint64_t ctr_lost_before =
       injector_.counter_notifications_lost();
+  const std::uint64_t inj_ecc_before = injector_.ecc_faults_injected();
+  const std::uint64_t inj_poison_before = injector_.poison_faults_injected();
+  const std::uint64_t inj_ce_before = injector_.ce_failures_injected();
+  const std::uint64_t inj_wedge_before = injector_.wedges_injected();
   std::uint64_t dropped_seen = dropped_before;
 
   Tracer* const tracer = config_.obs.trace ? &tracer_ : nullptr;
@@ -143,6 +150,17 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
       1'000'000 + 16 * spec.kernel.total_accesses();
   std::uint64_t batches = 0;
   SimTime pending_first = 0;  // earliest arrival behind the next interrupt
+
+  // Watchdog state for the fatal wedged-buffer class: consecutive driver
+  // wakeups that found the buffer presenting nothing escalate batch-stuck
+  // -> channel reset -> full GPU reset (recovery tiers 3/4). All dead
+  // state unless DriverConfig::recovery is enabled and a wedge fires.
+  const bool recovery_armed = config_.driver.recovery.enabled;
+  const std::uint32_t stuck_threshold =
+      std::max(1u, config_.driver.recovery.watchdog_stuck_wakeups);
+  std::uint32_t stuck_wakeups = 0;
+  bool channel_reset_tried = false;
+  bool wedge_needs_gpu_reset = false;
 
   // Kernel completion: record kernel time, then drain the counter
   // channel. Every fault is serviced, yet remote traffic from late GPU
@@ -185,6 +203,21 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     if (gpu_.fault_buffer().empty()) {
       eng.post(eng.now(), components::kGpu, on_forced_refill);
       return;
+    }
+    // Injected fatal wedge: the fault buffer stops presenting records
+    // until the watchdog escalates to a reset. Probed once per scheduling
+    // decision while unwedged (zero draws unless armed); the wedge's
+    // severity — channel reset sufficient, or full GPU reset needed — is
+    // drawn with it.
+    if (recovery_armed && !gpu_.fault_buffer().wedged() &&
+        injector_.fault_buffer_wedge()) {
+      gpu_.fault_buffer().set_wedged();
+      wedge_needs_gpu_reset = injector_.wedge_needs_gpu_reset();
+      if (tracer) {
+        tracer->instant(tracks::kRecovery, "buffer_wedged", eng.now(),
+                        {{"needs_gpu_reset", wedge_needs_gpu_reset ? 1u : 0u}});
+      }
+      if (metrics) metrics->add("sim.buffer_wedges");
     }
     // The interrupt for the earliest pending fault wakes the driver
     // worker; it can only read records the GMMU has written by then. An
@@ -233,21 +266,60 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     auto raw = gpu_.fault_buffer().drain_arrived(
         driver_.effective_batch_size(), eng.now());
     if (raw.empty()) {
+      // A wedged buffer presents nothing: consecutive stuck wakeups drive
+      // the watchdog up the ladder — channel reset first (tier 3; clears
+      // a channel-severity wedge), then a full GPU reset (tier 4).
+      if (recovery_armed && gpu_.fault_buffer().wedged()) {
+        ++result.watchdog_stuck_wakeups;
+        if (++stuck_wakeups >= stuck_threshold) {
+          stuck_wakeups = 0;
+          if (!channel_reset_tried) {
+            channel_reset_tried = true;
+            eng.advance_to(driver_.service_channel_reset(eng.now()).end_ns);
+            if (!wedge_needs_gpu_reset) {
+              gpu_.fault_buffer().clear_wedged();
+              channel_reset_tried = false;
+            }
+          } else {
+            // The driver tears down and rebuilds its state, then the GPU
+            // engine drops all stale buffer/µTLB state and the kernel
+            // re-faults its working set.
+            eng.advance_to(driver_.service_gpu_reset(eng.now()).end_ns);
+            gpu_.full_reset();
+            channel_reset_tried = false;
+            wedge_needs_gpu_reset = false;
+            run_gpu_window();
+          }
+        }
+        if (++batches > max_batches) {
+          throw std::logic_error(
+              "uvmsim: batch guard exceeded (livelock?)");
+        }
+      }
       schedule_next();
       return;
     }
+    stuck_wakeups = 0;
     const std::uint64_t dropped_now =
         gpu_.fault_buffer().total_dropped_full();
+    const std::uint64_t gpu_resets_before = driver_.recovery().gpu_resets();
     const BatchRecord& record = driver_.handle_batch(
         raw, eng.now(),
         static_cast<std::uint32_t>(dropped_now - dropped_seen));
     dropped_seen = dropped_now;
     eng.advance_to(record.end_ns);
 
-    if (driver_.config().flush_on_replay) {
-      gpu_.fault_buffer().flush_arrived(eng.now());
+    if (driver_.recovery().gpu_resets() != gpu_resets_before) {
+      // The bottom half escalated to a full GPU reset (retired-page pool
+      // overflow): reset the engine side too. full_reset subsumes the
+      // pre-replay flush and the replay's µTLB clear.
+      gpu_.full_reset();
+    } else {
+      if (driver_.config().flush_on_replay) {
+        gpu_.fault_buffer().flush_arrived(eng.now());
+      }
+      gpu_.on_replay();
     }
-    gpu_.on_replay();
     run_gpu_window();
 
     if (++batches > max_batches) {
@@ -297,12 +369,24 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
       injector_.dma_map_errors_injected() - inj_dma_before;
   result.injected_storm_faults =
       injector_.storm_faults_injected() - inj_storm_before;
+  result.injected_ecc_faults =
+      injector_.ecc_faults_injected() - inj_ecc_before;
+  result.injected_poison_faults =
+      injector_.poison_faults_injected() - inj_poison_before;
+  result.injected_ce_failures =
+      injector_.ce_failures_injected() - inj_ce_before;
+  result.injected_wedges = injector_.wedges_injected() - inj_wedge_before;
   for (const auto& rec : result.log) {
     result.transfer_retries += rec.counters.transfer_retries;
     result.dma_map_retries += rec.counters.dma_map_retries;
     result.service_aborts += rec.counters.service_aborts;
     result.thrash_pins += rec.counters.thrash_pins;
     result.thrash_throttles += rec.counters.thrash_throttles;
+    result.faults_cancelled += rec.counters.faults_cancelled;
+    result.pages_retired += rec.counters.pages_retired;
+    result.chunks_retired += rec.counters.chunks_retired;
+    result.channel_resets += rec.counters.channel_resets;
+    result.gpu_resets += rec.counters.gpu_resets;
     result.counter_notifications_serviced += rec.counters.ctr_notifications;
     result.counter_pages_promoted += rec.counters.ctr_pages_promoted;
     result.counter_unpins += rec.counters.ctr_unpins;

@@ -67,6 +67,21 @@ struct RunResult {
   std::uint64_t thrash_pins = 0;           // pin+remote-map mitigations
   std::uint64_t thrash_throttles = 0;      // throttle-window mitigations
 
+  // Fatal-fault containment and the recovery ladder (all zero unless
+  // driver.recovery is enabled AND fatal injection fires). Injected_*
+  // come from the injector; the recovery actions from the batch log;
+  // watchdog_stuck_wakeups from the System escalation loop.
+  std::uint64_t injected_ecc_faults = 0;   // double-bit ECC on resident chunk
+  std::uint64_t injected_poison_faults = 0;
+  std::uint64_t injected_ce_failures = 0;  // permanent channel failures
+  std::uint64_t injected_wedges = 0;       // fault-buffer wedges
+  std::uint64_t faults_cancelled = 0;      // recovery tier 1
+  std::uint64_t pages_retired = 0;         // recovery tier 2
+  std::uint64_t chunks_retired = 0;
+  std::uint64_t channel_resets = 0;        // recovery tier 3
+  std::uint64_t gpu_resets = 0;            // recovery tier 4
+  std::uint64_t watchdog_stuck_wakeups = 0;
+
   // Access-counter channel (all zero unless driver.access_counters is
   // enabled). Queued/dropped/lost come from the hardware unit and the
   // injector; serviced/promoted/unpinned from the batch log. Queued may

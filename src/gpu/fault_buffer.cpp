@@ -29,6 +29,7 @@ std::vector<FaultRecord> FaultBuffer::drain_arrived(std::size_t max_count,
                                                     SimTime now,
                                                     SimTime pace_ns) {
   std::vector<FaultRecord> out;
+  if (wedged_) return out;  // HW presents nothing until a reset
   SimTime read_clock = now;
   while (out.size() < max_count && !entries_.empty() &&
          entries_.front().timestamp <= read_clock) {

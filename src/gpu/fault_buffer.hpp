@@ -55,6 +55,18 @@ class FaultBuffer {
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Wedged state (injected fatal class): the buffer's GET/PUT interface
+  /// stops presenting records to the driver — drain_arrived returns
+  /// nothing while entries pile up (and overflow) behind the wedge. Only
+  /// a channel or full GPU reset clears it (core/system watchdog).
+  void set_wedged() noexcept {
+    if (!wedged_) ++total_wedges_;
+    wedged_ = true;
+  }
+  void clear_wedged() noexcept { wedged_ = false; }
+  bool wedged() const noexcept { return wedged_; }
+  std::uint64_t total_wedges() const noexcept { return total_wedges_; }
+
   std::uint64_t total_pushed() const noexcept { return pushed_; }
   std::uint64_t total_dropped_full() const noexcept { return dropped_full_; }
   std::uint64_t total_flushed() const noexcept { return flushed_; }
@@ -62,9 +74,11 @@ class FaultBuffer {
  private:
   std::size_t capacity_;
   std::deque<FaultRecord> entries_;
+  bool wedged_ = false;
   std::uint64_t pushed_ = 0;
   std::uint64_t dropped_full_ = 0;
   std::uint64_t flushed_ = 0;
+  std::uint64_t total_wedges_ = 0;
 };
 
 }  // namespace uvmsim

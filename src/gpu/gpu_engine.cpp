@@ -408,6 +408,13 @@ void GpuEngine::force_token_refill() {
   std::fill(sm_tokens_.begin(), sm_tokens_.end(), config_.sm_token_capacity);
 }
 
+void GpuEngine::full_reset() {
+  buffer_.clear_wedged();
+  buffer_.flush();
+  force_token_refill();
+  on_replay();  // clears µTLBs; waiting accesses reissue and re-fault
+}
+
 bool GpuEngine::all_done() const noexcept {
   return kernel_ && pending_blocks_.empty() && active_blocks_.empty();
 }

@@ -118,6 +118,12 @@ class GpuEngine {
   /// empty buffer (cannot happen with refill >= 1, but cheap insurance).
   void force_token_refill();
 
+  /// Full GPU reset (recovery tier 4): every µTLB cleared, throttle
+  /// tokens restored to capacity, the stale fault buffer flushed. Warps
+  /// whose faults died with the reset re-fault their working set on the
+  /// next generation window (the caller rebuilds driver state first).
+  void full_reset();
+
   bool all_done() const noexcept;
 
   FaultBuffer& fault_buffer() noexcept { return buffer_; }

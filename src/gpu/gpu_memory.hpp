@@ -25,12 +25,23 @@ class GpuMemory {
 
   bool free_chunk(ChunkId chunk);
 
+  /// Page retirement (double-bit ECC): permanently blacklist an allocated
+  /// chunk. It leaves the usable pool — capacity shrinks, it is never
+  /// handed out again, and free_chunk on it fails. Returns false when the
+  /// chunk is not currently allocated.
+  bool retire_chunk(ChunkId chunk);
+
+  bool is_retired(ChunkId chunk) const noexcept {
+    return chunk < retired_.size() && retired_[chunk];
+  }
+
   std::uint64_t total_chunks() const noexcept { return total_chunks_; }
   std::uint64_t chunks_in_use() const noexcept { return in_use_; }
   std::uint64_t free_chunks() const noexcept { return total_chunks_ - in_use_; }
   bool full() const noexcept { return in_use_ >= total_chunks_; }
 
   std::uint64_t failed_allocations() const noexcept { return failed_; }
+  std::uint64_t retired_chunks() const noexcept { return retired_count_; }
 
  private:
   std::uint64_t total_chunks_;
@@ -38,7 +49,9 @@ class GpuMemory {
   std::uint32_t next_never_used_ = 0;
   std::vector<ChunkId> free_list_;
   std::vector<bool> allocated_;
+  std::vector<bool> retired_;
   std::uint64_t failed_ = 0;
+  std::uint64_t retired_count_ = 0;
 };
 
 }  // namespace uvmsim

@@ -37,6 +37,7 @@ constexpr TrackId kSim = 0;       // System loop: interrupts, wakeups
 constexpr TrackId kDriver = 1;    // driver worker serial timeline
 constexpr TrackId kGpu = 2;       // GPU compute / fault generation
 constexpr TrackId kCounters = 3;  // access-counter servicing passes
+constexpr TrackId kRecovery = 4;  // fatal-fault recovery ladder actions
 constexpr TrackId kWorkerBase = 8;  // simulated servicing thread k -> 8 + k
 }  // namespace tracks
 

@@ -29,11 +29,14 @@ struct BatchPhaseTimes {
   SimTime backoff_ns = 0;      // retry backoff waits after transient errors
   SimTime throttle_ns = 0;     // thrashing-mitigation service delays
   SimTime counter_ns = 0;      // access-counter servicing after the batch
+  SimTime recovery_ns = 0;     // fatal-fault recovery ladder: cancellation,
+                               // retirement, channel/GPU resets
 
   SimTime sum() const noexcept {
     return fetch_ns + dedup_ns + vablock_ns + eviction_ns + unmap_ns +
            populate_ns + dma_map_ns + prefetch_ns + transfer_ns +
-           pagetable_ns + replay_ns + backoff_ns + throttle_ns + counter_ns;
+           pagetable_ns + replay_ns + backoff_ns + throttle_ns + counter_ns +
+           recovery_ns;
   }
 };
 
@@ -73,6 +76,15 @@ struct BatchCounters {
   std::uint32_t thrash_throttles = 0;  // blocks throttled/shielded
   std::uint32_t buffer_dropped = 0;    // HW fault-buffer overflow drops
                                        // observed since the previous batch
+
+  // ---- Recovery ladder (all zero with recovery off) ----------------------
+  std::uint32_t faults_cancelled = 0;  // tier 1: offending µTLB entries
+                                       // cancelled instead of serviced
+  std::uint32_t pages_retired = 0;     // tier 2: pages blacklisted and
+                                       // remapped to host frames
+  std::uint32_t chunks_retired = 0;    // tier 2: GPU chunks blacklisted
+  std::uint32_t channel_resets = 0;    // tier 3: CE channel resets
+  std::uint32_t gpu_resets = 0;        // tier 4: full GPU resets
 
   // ---- Access-counter servicing (all zero with counters off) ------------
   std::uint32_t ctr_notifications = 0;  // notifications serviced this pass

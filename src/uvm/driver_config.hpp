@@ -56,13 +56,53 @@ struct RetryPolicy {
   std::uint32_t backoff_mult = 2;
   SimTime backoff_cap_ns = 64'000;
 
+  /// min(cap, base * mult^failures), computed with explicit overflow
+  /// saturation: the repeated multiply can wrap SimTime long before the
+  /// cap comparison when base/mult/cap are pathological (long storms with
+  /// a large attempt budget), so each step checks headroom against the cap
+  /// first and clamps there. mult <= 1 never grows the wait.
   SimTime backoff_ns(std::uint32_t failures) const noexcept {
+    if (backoff_base_ns >= backoff_cap_ns) return backoff_cap_ns;
+    if (backoff_mult <= 1) return backoff_base_ns;
     SimTime wait = backoff_base_ns;
-    for (std::uint32_t i = 0; i < failures && wait < backoff_cap_ns; ++i) {
+    for (std::uint32_t i = 0; i < failures; ++i) {
+      if (wait > backoff_cap_ns / backoff_mult) return backoff_cap_ns;
       wait *= backoff_mult;
     }
     return wait < backoff_cap_ns ? wait : backoff_cap_ns;
   }
+};
+
+/// The fatal-fault recovery ladder (uvm/recovery.hpp), modeled after
+/// nvidia-uvm's fault cancellation / page retirement / channel reset / GPU
+/// reset escalation. Off by default: fatal injection classes are never
+/// probed and behavior is bit-identical to the pre-recovery driver.
+struct RecoveryConfig {
+  bool enabled = false;
+
+  // Tier 1 — targeted fault cancellation: cost to cancel one offending
+  // µTLB entry's fault (replayable-fault cancel method, per fault).
+  SimTime cancel_per_fault_ns = 1'000;
+
+  // Tier 2 — page retirement: per-page blacklist/remap bookkeeping, and
+  // the retired-page pool capacity (InfoROM blacklist budget). When the
+  // pool overflows the ladder escalates to a full GPU reset, which clears
+  // the soft pool accounting (the physical blacklist persists).
+  SimTime retire_page_ns = 2'000;
+  std::uint32_t retired_page_pool = 4096;
+
+  // Tier 3 — copy-engine/channel reset: abort in-flight transfers, reset
+  // the channel, replay the affected batch.
+  SimTime channel_reset_ns = 500'000;
+
+  // Tier 4 — full GPU reset: VA-space unmap/teardown plus deterministic
+  // driver-state rebuild; kernels re-fault their working set afterwards.
+  SimTime gpu_reset_ns = 5'000'000;
+
+  // Watchdog: consecutive stuck driver wakeups (interrupt fired but the
+  // buffer presented nothing) before escalating batch-stuck -> channel
+  // reset -> GPU reset.
+  std::uint32_t watchdog_stuck_wakeups = 3;
 };
 
 /// Access-counter notification servicing (gpu/access_counters.hpp +
@@ -152,6 +192,8 @@ struct DriverConfig {
   FaultInjectConfig inject{};
   // Transient-error recovery for migrations and DMA maps.
   RetryPolicy retry{};
+  // Fatal-fault containment: the cancellation/retirement/reset ladder.
+  RecoveryConfig recovery{};
   // Oversubscription thrashing detection + graceful degradation
   // (uvm/thrashing.hpp; nvidia-uvm perf_thrashing equivalent).
   ThrashingConfig thrash{};

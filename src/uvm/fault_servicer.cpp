@@ -41,7 +41,10 @@ bool FaultServicer::attempt_with_retries(RetrySite site, BatchRecord& record) {
     }
     if (failures + 1 < config_.retry.max_attempts) {
       const SimTime t0 = record.start_ns + record.phases.sum();
-      record.phases.backoff_ns += config_.retry.backoff_ns(failures);
+      // Saturating accumulation: a pathological cap × attempt budget must
+      // clamp instead of wrapping the phase timer (see RetryPolicy).
+      record.phases.backoff_ns =
+          sat_add(record.phases.backoff_ns, config_.retry.backoff_ns(failures));
       if (detailed_trace()) {
         obs_.tracer->span(tracks::kDriver, "backoff", t0,
                           record.start_ns + record.phases.sum(),
@@ -82,8 +85,13 @@ void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
     // (without CPU remapping — lazy remap on CPU access, §5.1). A
     // writeback may hit transient transfer errors too, but it can never
     // be abandoned (that would lose the only valid copy): after the retry
-    // budget the final attempt is forced through.
-    attempt_with_retries(RetrySite::kTransfer, record);
+    // budget the final attempt is forced through — resetting the channel
+    // first when exhaustion revealed a permanent failure (tier 3).
+    if (!attempt_with_retries(RetrySite::kTransfer, record) && recovery_ &&
+        recovery_->enabled() && injector_ &&
+        injector_->ce_permanent_failure()) {
+      recovery_->channel_reset(record);
+    }
     const auto xfer = copy_.copy_range(first_page_of(*victim), resident,
                                        CopyDirection::kDeviceToHost);
     record.phases.eviction_ns += xfer.time_ns;
@@ -257,6 +265,19 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       }
     };
 
+    // Fatal double-bit ECC on the block's resident chunk (recovery tiers
+    // 1+2): the block's faults are cancelled, its chunk retired, and its
+    // pages remapped to host — no servicing this batch, and its replayed
+    // accesses resolve remotely. Probed only with the ladder armed.
+    if (recovery_ && recovery_->enabled() && injector_ && block.has_chunk() &&
+        injector_->ecc_double_bit()) {
+      recovery_->fatal_chunk_ecc(block_id, block,
+                                 static_cast<std::uint32_t>(faults.size()),
+                                 record);
+      finish_block();
+      continue;
+    }
+
     // Thrashing check before any migration work: a block ping-ponging
     // between eviction and re-fault gets degraded gracefully instead of
     // another migration round-trip (§5.1; nvidia-uvm perf_thrashing).
@@ -410,6 +431,16 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
         ++populate;
       }
     }
+    // Fatal poisoned page (recovery tiers 1+2): the copy engine discovers
+    // poison on the migration set's first page; that page is retired to
+    // its host frame and dropped from the transfer, the rest of the block
+    // services normally.
+    if (recovery_ && recovery_->enabled() && injector_ && !migrate.empty() &&
+        injector_->poisoned_page()) {
+      recovery_->fatal_poisoned_page(
+          block_id, block, page_index_in_block(migrate.front()), record);
+      migrate.erase(migrate.begin());
+    }
     if (fresh_chunk) {
       populate += static_cast<std::uint32_t>(migrate.size());
     }
@@ -427,7 +458,15 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     // the replay); zero-filled pages are established regardless.
     bool migrate_ok = true;
     if (!migrate.empty()) {
-      if (attempt_with_retries(RetrySite::kTransfer, record)) {
+      bool transfer_ready = attempt_with_retries(RetrySite::kTransfer, record);
+      if (!transfer_ready && recovery_ && recovery_->enabled() && injector_ &&
+          injector_->ce_permanent_failure()) {
+        // Retry exhaustion revealed a permanently failed channel, not bad
+        // data: reset it (tier 3) and replay the copy on the fresh channel.
+        recovery_->channel_reset(record);
+        transfer_ready = true;
+      }
+      if (transfer_ready) {
         const SimTime copy_t0 = start + record.phases.sum();
         const auto xfer =
             copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
@@ -452,6 +491,8 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     std::uint32_t established = 0;
     for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
       if (!target[i]) continue;
+      // A retired page is permanently banned from GPU residency.
+      if (block.is_retired(i)) continue;
       // A page whose migration was abandoned still has its only valid
       // copy in the host frame — it must not be mapped GPU-resident.
       if (!migrate_ok && block.host_data()[i]) continue;

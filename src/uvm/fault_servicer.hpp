@@ -44,6 +44,7 @@
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
 #include "uvm/prefetcher.hpp"
+#include "uvm/recovery.hpp"
 #include "uvm/thrashing.hpp"
 #include "uvm/va_space.hpp"
 
@@ -63,6 +64,16 @@ class FaultServicer {
   /// start + sum of phase costs).
   BatchRecord service(const std::vector<FaultRecord>& raw, SimTime start,
                       std::uint32_t batch_id);
+
+  /// Attach the fatal-fault recovery ladder (uvm/recovery.hpp). With it
+  /// attached and enabled, the servicer probes the injector's fatal
+  /// classes on the service path: double-bit ECC per chunked-block
+  /// service, poisoned pages per migration, and permanent channel failure
+  /// on transfer-retry exhaustion. May be null (no fatal faults — the
+  /// default, and byte-identical to the pre-recovery servicer).
+  void set_recovery(RecoveryManager* recovery) noexcept {
+    recovery_ = recovery;
+  }
 
   /// Attach host shard lanes: large batches run the dedup/classify stage
   /// sharded by page (uvm/dedup.hpp), merged deterministically — the
@@ -118,6 +129,7 @@ class FaultServicer {
   std::uint32_t num_sms_;
   FaultInjector* injector_;          // may be null (no injection)
   ThrashingDetector* thrash_;        // may be null (no detection)
+  RecoveryManager* recovery_ = nullptr;  // may be null (no fatal faults)
   Obs obs_;                          // null members = no recording
   ShardExecutor* shard_exec_ = nullptr;  // not owned; null = serial dedup
   std::uint64_t total_evictions_ = 0;

@@ -17,6 +17,7 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
       evictor_(config_.evict_policy == EvictPolicy::kLru ? Evictor::Policy::kLru
                                                          : Evictor::Policy::kFifo),
       thrash_(config_.thrash),
+      recovery_(config_, space_, memory_, dma_, copy_, evictor_, obs),
       servicer_(config_, space_, memory_, dma_, copy_, evictor_, num_sms,
                 injector, &thrash_, obs),
       counter_servicer_(config_, space_, memory_, copy_, evictor_, &thrash_,
@@ -24,6 +25,7 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
       effective_batch_size_(config_.batch_size) {
   copy_.set_obs(obs_);
   dma_.set_obs(obs_);
+  servicer_.set_recovery(&recovery_);
 }
 
 const AllocationInfo& UvmDriver::managed_alloc(std::uint64_t bytes,
@@ -43,6 +45,10 @@ const BatchRecord& UvmDriver::handle_batch(const std::vector<FaultRecord>& raw,
   // hardware channels share the driver bottom half, faults first); the
   // pass extends the batch record's counter_ns phase and end time.
   if (counters_) counter_servicer_.service(*counters_, record);
+  // Retired-page pool overflow escalates to a full GPU reset (recovery
+  // tier 4) as the last step of the bottom half; the System loop sees the
+  // reset through the recovery counters and resets the GPU engine side.
+  if (recovery_.take_gpu_reset_request()) recovery_.full_gpu_reset(record);
   total_batch_ns_ += record.duration_ns();
   clock_ns_ = record.end_ns;
   if (config_.async_host_ops) {
@@ -81,6 +87,32 @@ const BatchRecord& UvmDriver::service_counter_interrupt(SimTime start) {
   record.start_ns = start;
   record.end_ns = start;
   counter_servicer_.service(*counters_, record);
+  total_batch_ns_ += record.duration_ns();
+  clock_ns_ = record.end_ns;
+  if (obs_.any()) record_batch_metrics(record);
+  log_.push_back(std::move(record));
+  return log_.back();
+}
+
+const BatchRecord& UvmDriver::service_channel_reset(SimTime start) {
+  BatchRecord record;
+  record.id = static_cast<std::uint32_t>(log_.size());
+  record.start_ns = start;
+  recovery_.channel_reset(record);
+  record.end_ns = start + record.phases.sum();
+  total_batch_ns_ += record.duration_ns();
+  clock_ns_ = record.end_ns;
+  if (obs_.any()) record_batch_metrics(record);
+  log_.push_back(std::move(record));
+  return log_.back();
+}
+
+const BatchRecord& UvmDriver::service_gpu_reset(SimTime start) {
+  BatchRecord record;
+  record.id = static_cast<std::uint32_t>(log_.size());
+  record.start_ns = start;
+  record.end_ns = start;  // full_gpu_reset extends by what it charges
+  recovery_.full_gpu_reset(record);
   total_batch_ns_ += record.duration_ns();
   clock_ns_ = record.end_ns;
   if (obs_.any()) record_batch_metrics(record);
@@ -128,6 +160,11 @@ void UvmDriver::record_batch_metrics(const BatchRecord& record) {
   m->add("driver.thrash_pins", c.thrash_pins);
   m->add("driver.thrash_throttles", c.thrash_throttles);
   m->add("driver.buffer_dropped", c.buffer_dropped);
+  m->add("driver.faults_cancelled", c.faults_cancelled);
+  m->add("driver.pages_retired", c.pages_retired);
+  m->add("driver.chunks_retired", c.chunks_retired);
+  m->add("driver.channel_resets", c.channel_resets);
+  m->add("driver.gpu_resets", c.gpu_resets);
   m->add("driver.ctr_notifications", c.ctr_notifications);
   m->add("driver.ctr_dropped", c.ctr_dropped);
   m->add("driver.ctr_pages_promoted", c.ctr_pages_promoted);
@@ -150,6 +187,7 @@ void UvmDriver::record_batch_metrics(const BatchRecord& record) {
   m->add("phase.backoff_ns", p.backoff_ns);
   m->add("phase.throttle_ns", p.throttle_ns);
   m->add("phase.counter_ns", p.counter_ns);
+  m->add("phase.recovery_ns", p.recovery_ns);
 
   // Batch-shape distributions (Figure 6-style analyses).
   m->observe("batch.duration_ns", record.duration_ns());

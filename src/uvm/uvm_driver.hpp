@@ -23,6 +23,7 @@
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
 #include "uvm/fault_servicer.hpp"
+#include "uvm/recovery.hpp"
 #include "uvm/va_space.hpp"
 
 namespace uvmsim {
@@ -62,6 +63,16 @@ class UvmDriver final : public ResidencyOracle {
   /// set_access_counters.
   const BatchRecord& service_counter_interrupt(SimTime start);
 
+  /// Watchdog-driven recovery bottom halves (core/system escalation
+  /// tiers). Each appends a recovery-only record to the batch log so the
+  /// reset and its latency are first-class, replay-checkable batch data.
+  /// Tier 3: reset the copy-engine channel at `start`.
+  const BatchRecord& service_channel_reset(SimTime start);
+  /// Tier 4: full GPU reset at `start` — VA-space teardown and driver-
+  /// state rebuild. The caller must reset the GPU engine side too
+  /// (GpuEngine::full_reset) so kernels re-fault their working set.
+  const BatchRecord& service_gpu_reset(SimTime start);
+
   // ResidencyOracle: the GPU's page-table view.
   bool is_resident_on_gpu(PageId page) const override {
     return space_.is_gpu_resident(page);
@@ -73,6 +84,11 @@ class UvmDriver final : public ResidencyOracle {
   /// pin lasts.
   PageLocation classify(PageId page) const override {
     if (space_.is_gpu_resident(page)) return PageLocation::kGpuResident;
+    // Retired pages (recovery tier 2) are permanently host-pinned; the
+    // any_retired flag keeps this a dead branch until a retirement fires.
+    if (space_.any_retired() && space_.is_page_retired(page)) {
+      return PageLocation::kRemoteMapped;
+    }
     if (space_.advise_of(page) == MemAdvise::kPreferredLocationHost) {
       return PageLocation::kRemoteMapped;
     }
@@ -93,6 +109,7 @@ class UvmDriver final : public ResidencyOracle {
   const CopyEngine& copy_engine() const noexcept { return copy_; }
   const Evictor& evictor() const noexcept { return evictor_; }
   const ThrashingDetector& thrashing() const noexcept { return thrash_; }
+  const RecoveryManager& recovery() const noexcept { return recovery_; }
 
   /// Attach the GPU's access-counter unit: after each fault batch the
   /// driver runs one counter-servicing pass against it (real nvidia-uvm
@@ -147,6 +164,7 @@ class UvmDriver final : public ResidencyOracle {
   DmaMapper dma_;
   Evictor evictor_;
   ThrashingDetector thrash_;
+  RecoveryManager recovery_;
   FaultServicer servicer_;
   CounterServicer counter_servicer_;
   AccessCounterUnit* counters_ = nullptr;  // not owned; null = disabled

@@ -32,8 +32,10 @@ class VaBlockState {
   const PageMask& cpu_mapped() const noexcept { return cpu_mapped_; }
   const PageMask& host_data() const noexcept { return host_data_; }
   const PageMask& populated() const noexcept { return populated_; }
+  const PageMask& retired() const noexcept { return retired_; }
 
   bool is_gpu_resident(std::uint32_t page) const { return gpu_resident_[page]; }
+  bool is_retired(std::uint32_t page) const { return retired_[page]; }
 
   void set_cpu_initialized(std::uint32_t page, CpuThreadMask toucher) {
     cpu_mapped_.set(page);
@@ -53,6 +55,28 @@ class VaBlockState {
     const auto n = static_cast<std::uint32_t>(cpu_mapped_.count());
     cpu_mapped_.reset();
     return n;
+  }
+
+  /// Page retirement (recovery tier 2): the page is permanently banned
+  /// from GPU residency and its authoritative copy lives in a host frame.
+  /// Populated pages keep/regain host_data so no defined contents are
+  /// orphaned; unpopulated pages just carry the ban.
+  void retire_page(std::uint32_t page) {
+    gpu_resident_.reset(page);
+    if (populated_[page]) host_data_.set(page);
+    retired_.set(page);
+  }
+
+  /// Retire every page of the block (double-bit ECC on the chunk).
+  /// Returns how many pages were newly retired.
+  std::uint32_t retire_all_pages() {
+    const auto before = static_cast<std::uint32_t>(retired_.count());
+    for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) retire_page(i);
+    return kPagesPerVaBlock - before;
+  }
+
+  std::uint32_t retired_count() const noexcept {
+    return static_cast<std::uint32_t>(retired_.count());
   }
 
   /// Eviction effect: all GPU-resident pages move to host frames but are
@@ -96,6 +120,7 @@ class VaBlockState {
   PageMask cpu_mapped_;
   PageMask host_data_;
   PageMask populated_;
+  PageMask retired_;
   CpuThreadMask cpu_sharers_ = 0;
   std::optional<GpuMemory::ChunkId> chunk_;
   bool dma_mapped_ = false;

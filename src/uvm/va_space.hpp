@@ -92,6 +92,17 @@ class VaSpace {
            blocks_[b].is_gpu_resident(page_index_in_block(page));
   }
 
+  /// Retired pages resolve remotely forever (recovery tier 2). The flag
+  /// keeps the classify fast path a single branch until the first
+  /// retirement actually happens.
+  bool any_retired() const noexcept { return any_retired_; }
+  void note_page_retired() noexcept { any_retired_ = true; }
+  bool is_page_retired(PageId page) const {
+    const VaBlockId b = va_block_of(page);
+    return b < blocks_.size() &&
+           blocks_[b].is_retired(page_index_in_block(page));
+  }
+
   const std::vector<AllocationInfo>& allocations() const noexcept {
     return allocations_;
   }
@@ -116,6 +127,7 @@ class VaSpace {
   VmaMap vmas_;
   PageTable host_pt_;
   std::uint64_t next_host_frame_ = 0;
+  bool any_retired_ = false;
 };
 
 }  // namespace uvmsim

@@ -131,6 +131,49 @@ TEST(Invariants, InjectedFaultsConserveAndBalanceAcrossSeeds) {
   }
 }
 
+TEST(Invariants, FatalInjectedRunsConserveRecoverAndBalanceAcrossSeeds) {
+  // Fatal classes (double-bit ECC, poisoned pages, permanent channel
+  // failure, wedged buffer) are contained by the recovery ladder: every
+  // run still completes, conservation holds even with pages retired and
+  // chunks blacklisted, and the recovery books balance against the log.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const FuzzCase c = testutil::make_fatal_fuzz_case(seed);
+    System system(c.config);
+    const auto result = system.run(c.spec);
+    ASSERT_GT(result.total_faults, 0u) << "seed " << seed;
+    check_run_invariants(system, c.config, result);
+
+    std::uint64_t cancelled = 0, pages_retired = 0, chunks_retired = 0;
+    std::uint64_t channel_resets = 0, gpu_resets = 0;
+    for (const auto& rec : result.log) {
+      cancelled += rec.counters.faults_cancelled;
+      pages_retired += rec.counters.pages_retired;
+      chunks_retired += rec.counters.chunks_retired;
+      channel_resets += rec.counters.channel_resets;
+      gpu_resets += rec.counters.gpu_resets;
+    }
+    EXPECT_EQ(cancelled, result.faults_cancelled) << "seed " << seed;
+    EXPECT_EQ(pages_retired, result.pages_retired) << "seed " << seed;
+    EXPECT_EQ(chunks_retired, result.chunks_retired) << "seed " << seed;
+    EXPECT_EQ(channel_resets, result.channel_resets) << "seed " << seed;
+    EXPECT_EQ(gpu_resets, result.gpu_resets) << "seed " << seed;
+    // Chunk blacklisting is permanent: the memory's retired count matches
+    // the log, and the allocatable capacity shrank by exactly that much.
+    const auto& mem = system.driver().gpu_memory();
+    EXPECT_EQ(mem.retired_chunks(), chunks_retired) << "seed " << seed;
+
+    // Determinism: the same fatal schedule replays bit-identically,
+    // including every recovery record.
+    System replay_system(c.config);
+    const auto replay = replay_system.run(c.spec);
+    ASSERT_EQ(replay.log.size(), result.log.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < result.log.size(); ++i) {
+      ASSERT_EQ(serialize_batch(replay.log[i]), serialize_batch(result.log[i]))
+          << "seed " << seed << " batch " << i;
+    }
+  }
+}
+
 TEST(Invariants, CounterAssistedRunsConserveAndBalanceAcrossSeeds) {
   // The access-counter channel moves pages outside the fault path, but
   // the conservation invariants are channel-agnostic: promotions and
@@ -315,6 +358,26 @@ TEST(ShardDeterminism, InjectedRunsAreByteIdenticalAcrossShards) {
     const ObservedRun base = observe(c, 1, AdvanceMode::kEventDriven);
     const ObservedRun sharded = observe(c, 4, AdvanceMode::kEventDriven);
     expect_identical(sharded, base, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(ShardDeterminism, FatalRunsAreByteIdenticalAcrossShardsAndModes) {
+  // Recovery traces are part of the determinism contract: identical
+  // (config, seed) must produce bit-identical recovery records for every
+  // shard count and both engine modes, even through GPU resets.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const FuzzCase c = testutil::make_fatal_fuzz_case(seed);
+    const ObservedRun base = observe(c, 1, AdvanceMode::kEventDriven);
+    ASSERT_GT(base.result.total_faults, 0u) << "seed " << seed;
+    for (const unsigned shards : {2u, 4u, 8u}) {
+      const ObservedRun run = observe(c, shards, AdvanceMode::kEventDriven);
+      expect_identical(run, base,
+                       "seed " + std::to_string(seed) + " shards " +
+                           std::to_string(shards));
+    }
+    const ObservedRun stepped = observe(c, 1, AdvanceMode::kTimeStepped);
+    expect_identical(stepped, base,
+                     "seed " + std::to_string(seed) + " stepped");
   }
 }
 

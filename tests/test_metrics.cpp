@@ -68,6 +68,11 @@ std::vector<std::pair<const char*, std::uint64_t>> mirrored_fields(
       {"driver.thrash_pins", c.thrash_pins},
       {"driver.thrash_throttles", c.thrash_throttles},
       {"driver.buffer_dropped", c.buffer_dropped},
+      {"driver.faults_cancelled", c.faults_cancelled},
+      {"driver.pages_retired", c.pages_retired},
+      {"driver.chunks_retired", c.chunks_retired},
+      {"driver.channel_resets", c.channel_resets},
+      {"driver.gpu_resets", c.gpu_resets},
       {"driver.ctr_notifications", c.ctr_notifications},
       {"driver.ctr_dropped", c.ctr_dropped},
       {"driver.ctr_pages_promoted", c.ctr_pages_promoted},
@@ -87,6 +92,7 @@ std::vector<std::pair<const char*, std::uint64_t>> mirrored_fields(
       {"phase.backoff_ns", p.backoff_ns},
       {"phase.throttle_ns", p.throttle_ns},
       {"phase.counter_ns", p.counter_ns},
+      {"phase.recovery_ns", p.recovery_ns},
   };
 }
 

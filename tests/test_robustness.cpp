@@ -111,6 +111,44 @@ TEST(RetryPolicy, BackoffIsExponentialAndCapped) {
   EXPECT_EQ(retry.backoff_ns(10), 6000u);  // stays capped, no overflow
 }
 
+TEST(RetryPolicy, BackoffNeverOverflowsNearU64Max) {
+  // Regression: the doubling loop used to wrap SimTime before the cap
+  // comparison, so a pathological (base, mult, cap) returned a tiny wait
+  // instead of the cap once base * mult^failures exceeded 2^64.
+  RetryPolicy retry;
+  retry.backoff_base_ns = 1ULL << 62;
+  retry.backoff_mult = 2;
+  retry.backoff_cap_ns = ~SimTime{0};
+  EXPECT_EQ(retry.backoff_ns(0), 1ULL << 62);
+  EXPECT_EQ(retry.backoff_ns(1), 1ULL << 63);
+  EXPECT_EQ(retry.backoff_ns(2), ~SimTime{0});  // would have wrapped to 0
+  EXPECT_EQ(retry.backoff_ns(64), ~SimTime{0});
+
+  // Monotonicity in the failure count survives saturation.
+  retry.backoff_base_ns = 3;
+  retry.backoff_mult = 7;
+  retry.backoff_cap_ns = ~SimTime{0} - 1;
+  SimTime prev = 0;
+  for (std::uint32_t f = 0; f < 100; ++f) {
+    const SimTime wait = retry.backoff_ns(f);
+    EXPECT_GE(wait, prev) << "failures " << f;
+    EXPECT_LE(wait, retry.backoff_cap_ns) << "failures " << f;
+    prev = wait;
+  }
+  EXPECT_EQ(prev, retry.backoff_cap_ns);
+
+  // A base already at/above the cap pins to the cap, mult <= 1 never
+  // grows, and the accumulation helper saturates instead of wrapping.
+  retry.backoff_base_ns = 500;
+  retry.backoff_cap_ns = 100;
+  EXPECT_EQ(retry.backoff_ns(3), 100u);
+  retry.backoff_cap_ns = 1'000'000;
+  retry.backoff_mult = 1;
+  EXPECT_EQ(retry.backoff_ns(50), 500u);
+  EXPECT_EQ(sat_add(~SimTime{0} - 5, 10), ~SimTime{0});
+  EXPECT_EQ(sat_add(SimTime{40}, SimTime{2}), 42u);
+}
+
 // ---- ThrashingDetector unit properties ------------------------------------
 
 TEST(ThrashingDetector, NeverFiresWithoutEvictionRecency) {
@@ -416,6 +454,77 @@ TEST(RobustnessSystem, LostInterruptsDelayButDoNotWedge) {
   // Watchdog recovery costs wall time but the same work gets done.
   EXPECT_GT(injected.kernel_time_ns, baseline.kernel_time_ns);
   EXPECT_EQ(injected.bytes_h2d, baseline.bytes_h2d);
+}
+
+// ---- End-to-end: edge-case compositions -----------------------------------
+
+TEST(RobustnessSystem, LostInterruptDuringOverflowStormStillRecovers) {
+  // Composition: a guaranteed storm against a tiny HW buffer WHILE the
+  // interrupt path is lossy. Drops and lost wakeups land in the same
+  // window, so recovery depends on both the watchdog wakeup and the
+  // post-replay reissue path working together.
+  SystemConfig cfg = small_config();
+  cfg.gpu.fault_buffer_entries = 256;
+  cfg.driver.inject.enabled = true;
+  cfg.driver.inject.storm_prob = 1.0;
+  cfg.driver.inject.storm_faults = 1024;
+  cfg.driver.inject.interrupt_loss_prob = 0.5;
+  cfg.driver.inject.interrupt_recovery_ns = 200'000;
+  const auto result = run_stream(cfg);
+  EXPECT_GT(result.faults_dropped_full, 0u);
+  EXPECT_GT(result.interrupts_lost, 0u);
+  // Both loss channels in play, yet the books still balance and the same
+  // data ends up on the GPU as in a clean run.
+  EXPECT_EQ(robustness_totals(result.log).buffer_dropped,
+            result.faults_dropped_full);
+  const auto baseline = run_stream(small_config());
+  EXPECT_EQ(result.bytes_h2d, baseline.bytes_h2d);
+}
+
+TEST(RobustnessSystem, DmaFailureDuringEvictionWritebackConserves) {
+  // Composition: oversubscription keeps the evictor hot while DMA mapping
+  // of the incoming block fails most of the time with a tiny retry
+  // budget. Abandoned services race eviction writebacks for the same
+  // chunks; no interleaving may lose a page's only copy.
+  SystemConfig cfg = small_config(16);
+  cfg.driver.retry.max_attempts = 2;
+  cfg.driver.inject.enabled = true;
+  cfg.driver.inject.dma_map_error_prob = 0.6;
+  cfg.driver.inject.transfer_error_prob = 0.2;
+  System system(cfg);
+  const auto result = system.run(make_stream_triad(2 << 20));
+  EXPECT_GT(result.evictions, 0u);
+  EXPECT_GT(result.injected_dma_errors, 0u);
+  EXPECT_GT(result.service_aborts, 0u);
+  const auto& space = system.driver().va_space();
+  for (VaBlockId b = 0; b < space.block_count(); ++b) {
+    const auto& block = space.block(b);
+    const auto orphaned =
+        block.populated() & ~(block.gpu_resident() | block.host_data());
+    EXPECT_TRUE(orphaned.none()) << "block " << b;
+  }
+}
+
+TEST(RobustnessSystem, RecoveryArmedWithZeroProbsIsBitIdentical) {
+  // The recovery ladder armed but no fatal class probable: every probe
+  // short-circuits before drawing, so the batch log stays byte-identical
+  // to a run without the subsystem (the zero-cost-off contract the golden
+  // fixtures rely on).
+  SystemConfig plain = small_config();
+  SystemConfig armed = small_config();
+  armed.driver.recovery.enabled = true;
+  armed.driver.inject.enabled = true;  // transient classes stay at 0 too
+  const auto a = run_stream(plain, 1 << 17);
+  const auto b = run_stream(armed, 1 << 17);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    EXPECT_EQ(serialize_batch(a.log[i]), serialize_batch(b.log[i]))
+        << "batch " << i;
+  }
+  EXPECT_EQ(a.kernel_time_ns, b.kernel_time_ns);
+  EXPECT_FALSE(recovery_totals(b.log).any());
+  EXPECT_EQ(b.pages_retired, 0u);
+  EXPECT_EQ(b.gpu_resets, 0u);
 }
 
 // ---- End-to-end: thrashing mitigation -------------------------------------

@@ -69,6 +69,26 @@ inline FuzzCase make_injected_fuzz_case(std::uint64_t seed) {
   return c;
 }
 
+/// The injected scenarios with the fatal-fault classes and the recovery
+/// ladder armed on top. Separate draw stream again: arming fatal faults
+/// must not perturb the transient-injection schedules above.
+inline FuzzCase make_fatal_fuzz_case(std::uint64_t seed) {
+  FuzzCase c = make_injected_fuzz_case(seed);
+  std::mt19937_64 rng(0xFA7A1ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  auto& inj = c.config.driver.inject;
+  inj.ecc_double_bit_prob = 0.002 * static_cast<double>(rng() % 4);
+  inj.poison_prob = 0.002 * static_cast<double>(rng() % 4);
+  inj.ce_permanent_prob = 0.25 * static_cast<double>(rng() % 3);  // 0..0.5
+  inj.wedge_prob = 0.01 * static_cast<double>(rng() % 3);
+  inj.wedge_gpu_reset_frac = 0.5 * static_cast<double>(rng() % 3);
+  auto& rec = c.config.driver.recovery;
+  rec.enabled = true;
+  rec.watchdog_stuck_wakeups = 1 + static_cast<std::uint32_t>(rng() % 3);
+  // A small pool occasionally overflows into a tier-4 reset.
+  rec.retired_page_pool = 64u << (rng() % 4);
+  return c;
+}
+
 /// Oversubscribed scenarios with thrashing pins and the access-counter
 /// channel armed — the regime where counter-driven promotion actually
 /// fires. Separate draw stream again, so the base cases stay untouched.

@@ -127,14 +127,21 @@ int cmd_list() {
               "--inject-irq-loss P --inject-storm-prob P "
               "--inject-storm-faults N\n");
   std::printf("retry policy: --retry-max N --retry-backoff-ns N "
-              "--retry-backoff-cap-ns N\n");
+              "--retry-backoff-cap-ns N --fail-on-abort (exit 4 if any "
+              "service was abandoned on retry exhaustion)\n");
+  std::printf("fatal faults + recovery ladder: --inject-fatal "
+              "(arms recovery) --inject-ecc P --inject-poison P "
+              "--inject-ce-fail P --inject-wedge P --wedge-gpu-frac F "
+              "--recovery-pool N --watchdog-stuck N --channel-reset-ns N "
+              "--gpu-reset-ns N\n");
   std::printf("thrashing: --thrash-detect --thrash-mitigation "
               "none|pin|throttle --thrash-threshold N --thrash-lapse-ns N\n");
   std::printf("access counters: --access-counters [G,T] (granularity pages, "
               "notification threshold) --ctr-buffer N --ctr-batch N "
               "--ctr-migrate-advised --ctr-evict --inject-counter-loss P\n");
   std::printf("analyze: --phases (per-phase distribution) --json "
-              "(machine-readable summary incl. counter_stats)\n");
+              "(machine-readable summary incl. counter_stats and "
+              "recovery_stats)\n");
   return 0;
 }
 
@@ -205,6 +212,29 @@ int cmd_run(const Args& args) {
     inj.storm_faults = static_cast<std::uint32_t>(
         args.get_u64("inject-storm-faults", inj.storm_faults));
     inj.counter_loss_prob = args.get_f64("inject-counter-loss", 0.0);
+  }
+  // --inject-fatal arms both the fatal injection sites and the recovery
+  // ladder that contains them (fatal faults without recovery would wedge
+  // the run, so the two come as a pair).
+  if (args.flag("inject-fatal")) {
+    auto& inj = cfg.driver.inject;
+    inj.enabled = true;
+    inj.seed = args.get_u64("inject-seed", inj.seed);
+    inj.ecc_double_bit_prob = args.get_f64("inject-ecc", 0.0);
+    inj.poison_prob = args.get_f64("inject-poison", 0.0);
+    inj.ce_permanent_prob = args.get_f64("inject-ce-fail", 0.0);
+    inj.wedge_prob = args.get_f64("inject-wedge", 0.0);
+    inj.wedge_gpu_reset_frac =
+        args.get_f64("wedge-gpu-frac", inj.wedge_gpu_reset_frac);
+    auto& rec = cfg.driver.recovery;
+    rec.enabled = true;
+    rec.retired_page_pool = static_cast<std::uint32_t>(
+        args.get_u64("recovery-pool", rec.retired_page_pool));
+    rec.watchdog_stuck_wakeups = static_cast<std::uint32_t>(
+        args.get_u64("watchdog-stuck", rec.watchdog_stuck_wakeups));
+    rec.channel_reset_ns =
+        args.get_u64("channel-reset-ns", rec.channel_reset_ns);
+    rec.gpu_reset_ns = args.get_u64("gpu-reset-ns", rec.gpu_reset_ns);
   }
   cfg.driver.retry.max_attempts =
       static_cast<std::uint32_t>(args.get_u64("retry-max",
@@ -300,6 +330,24 @@ int cmd_run(const Args& args) {
                 static_cast<unsigned long long>(result.thrash_pins),
                 static_cast<unsigned long long>(result.thrash_throttles));
   }
+  if (result.injected_ecc_faults || result.injected_poison_faults ||
+      result.injected_ce_failures || result.injected_wedges ||
+      result.gpu_resets || result.channel_resets) {
+    std::printf("recovery: ecc=%llu poison=%llu ce_fail=%llu wedges=%llu "
+                "cancelled=%llu pages_retired=%llu chunks_retired=%llu "
+                "channel_resets=%llu gpu_resets=%llu stuck_wakeups=%llu\n",
+                static_cast<unsigned long long>(result.injected_ecc_faults),
+                static_cast<unsigned long long>(result.injected_poison_faults),
+                static_cast<unsigned long long>(result.injected_ce_failures),
+                static_cast<unsigned long long>(result.injected_wedges),
+                static_cast<unsigned long long>(result.faults_cancelled),
+                static_cast<unsigned long long>(result.pages_retired),
+                static_cast<unsigned long long>(result.chunks_retired),
+                static_cast<unsigned long long>(result.channel_resets),
+                static_cast<unsigned long long>(result.gpu_resets),
+                static_cast<unsigned long long>(
+                    result.watchdog_stuck_wakeups));
+  }
   if (args.flag("engine-stats")) {
     const auto& es = system.engine_stats();
     std::printf("engine: mode=%s shards=%u events=%llu posted=%llu "
@@ -360,6 +408,16 @@ int cmd_run(const Args& args) {
     std::printf("metrics written to %s (%zu counters)\n",
                 metrics_path.c_str(), system.metrics().counters().size());
   }
+  // --fail-on-abort turns abandoned block services (retry budgets
+  // exhausted with no recovery path taken) into a nonzero exit so CI
+  // harnesses can gate on them.
+  if (args.flag("fail-on-abort") && result.service_aborts > 0) {
+    std::fprintf(stderr,
+                 "fail-on-abort: %llu block services abandoned after retry "
+                 "exhaustion\n",
+                 static_cast<unsigned long long>(result.service_aborts));
+    return 4;
+  }
   return 0;
 }
 
@@ -395,6 +453,7 @@ int cmd_analyze(const std::string& path, const Args& args) {
   const auto fit = cost_vs_migration_fit(log);
   const auto robust = robustness_totals(log);
   const auto ctr = counter_totals(log);
+  const auto rec = recovery_totals(log);
 
   if (args.flag("json")) {
     // Machine-readable summary; counter_stats mirrors the table block.
@@ -407,12 +466,26 @@ int cmd_analyze(const std::string& path, const Args& args) {
     std::printf("  \"batch_time_ns\": %llu,\n",
                 static_cast<unsigned long long>(phases.sum()));
     std::printf("  \"robustness\": {\"transfer_errors\": %llu, "
-                "\"service_aborts\": %llu, \"thrash_pins\": %llu, "
-                "\"buffer_dropped\": %llu},\n",
+                "\"transfer_retries\": %llu, \"dma_map_retries\": %llu, "
+                "\"service_aborts\": %llu, \"abandoned_blocks\": %llu, "
+                "\"thrash_pins\": %llu, \"buffer_dropped\": %llu},\n",
                 static_cast<unsigned long long>(robust.transfer_errors),
+                static_cast<unsigned long long>(robust.transfer_retries),
+                static_cast<unsigned long long>(robust.dma_map_retries),
+                static_cast<unsigned long long>(robust.service_aborts),
                 static_cast<unsigned long long>(robust.service_aborts),
                 static_cast<unsigned long long>(robust.thrash_pins),
                 static_cast<unsigned long long>(robust.buffer_dropped));
+    std::printf("  \"recovery_stats\": {\"faults_cancelled\": %llu, "
+                "\"pages_retired\": %llu, \"chunks_retired\": %llu, "
+                "\"channel_resets\": %llu, \"gpu_resets\": %llu, "
+                "\"recovery_ns\": %llu},\n",
+                static_cast<unsigned long long>(rec.faults_cancelled),
+                static_cast<unsigned long long>(rec.pages_retired),
+                static_cast<unsigned long long>(rec.chunks_retired),
+                static_cast<unsigned long long>(rec.channel_resets),
+                static_cast<unsigned long long>(rec.gpu_resets),
+                static_cast<unsigned long long>(rec.recovery_ns));
     std::printf("  \"counter_stats\": {\"notifications\": %llu, "
                 "\"dropped\": %llu, \"pages_promoted\": %llu, "
                 "\"unpins\": %llu, \"evictions\": %llu, "
@@ -461,7 +534,8 @@ int cmd_analyze(const std::string& path, const Args& args) {
     table.add_row({"dma map errors (injected)",
                    std::to_string(robust.dma_map_errors)});
     table.add_row({"dma map retries", std::to_string(robust.dma_map_retries)});
-    table.add_row({"service aborts", std::to_string(robust.service_aborts)});
+    table.add_row({"service aborts (abandoned blocks)",
+                   std::to_string(robust.service_aborts)});
     table.add_row({"thrash pins", std::to_string(robust.thrash_pins)});
     table.add_row({"thrash throttles",
                    std::to_string(robust.thrash_throttles)});
@@ -471,6 +545,18 @@ int cmd_analyze(const std::string& path, const Args& args) {
                    fmt(static_cast<double>(robust.backoff_ns) / 1e6, 3)});
     table.add_row({"throttle delay (ms)",
                    fmt(static_cast<double>(robust.throttle_ns) / 1e6, 3)});
+  }
+  if (rec.any()) {
+    table.add_row({"faults cancelled (tier 1)",
+                   std::to_string(rec.faults_cancelled)});
+    table.add_row({"pages retired (tier 2)",
+                   std::to_string(rec.pages_retired)});
+    table.add_row({"chunks retired", std::to_string(rec.chunks_retired)});
+    table.add_row({"channel resets (tier 3)",
+                   std::to_string(rec.channel_resets)});
+    table.add_row({"gpu resets (tier 4)", std::to_string(rec.gpu_resets)});
+    table.add_row({"recovery time (ms)",
+                   fmt(static_cast<double>(rec.recovery_ns) / 1e6, 3)});
   }
   if (ctr.any()) {
     table.add_row({"counter notifications",
