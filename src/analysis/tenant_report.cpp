@@ -1,0 +1,295 @@
+#include "analysis/tenant_report.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "analysis/table.hpp"
+#include "common/stats.hpp"
+
+namespace uvmsim {
+namespace {
+
+void append_u64(std::string& out, std::string_view key, std::uint64_t value) {
+  out += ' ';
+  out += key;
+  out += '=';
+  out += std::to_string(value);
+}
+
+void append_f(std::string& out, std::string_view key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out += ' ';
+  out += key;
+  out += '=';
+  out += buf;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& value) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_f(std::string_view text, double& value) {
+  char* end = nullptr;
+  const std::string copy(text);
+  value = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+std::string json_f(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+TenantReport build_tenant_report(const std::vector<TenantStats>& stats) {
+  TenantReport report;
+  report.rows.reserve(stats.size());
+
+  double weight_sum = 0.0;
+  std::uint64_t window_sum = 0;
+  for (const auto& ts : stats) {
+    weight_sum += ts.weight;
+    window_sum += ts.window_service_ns;
+  }
+  report.window_ns = window_sum;
+
+  std::vector<double> normalized;  // window service per unit weight
+  normalized.reserve(stats.size());
+  std::vector<double> mean_waits;
+  mean_waits.reserve(stats.size());
+  std::uint64_t total_batches = 0;
+  double total_wait = 0.0;
+
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const TenantStats& ts = stats[i];
+    TenantReportRow row;
+    row.tenant = i;
+    row.weight = ts.weight;
+    row.quota_pages = ts.quota_pages;
+    row.grants = ts.grants;
+    row.batches = ts.batches;
+    row.faults = ts.faults;
+    row.deferrals = ts.deferrals;
+    row.evictions = ts.evictions;
+    row.service_ns = ts.service_ns;
+    row.window_service_ns = ts.window_service_ns;
+    row.window_faults = ts.window_faults;
+    row.max_wait_ns = ts.max_wait_ns;
+    row.lock_wait_ns = ts.lock_wait_ns;
+    row.max_grant_ns = ts.max_grant_ns;
+    row.completion_ns = ts.completion_ns;
+
+    row.window_share =
+        window_sum ? static_cast<double>(ts.window_service_ns) /
+                         static_cast<double>(window_sum)
+                   : 0.0;
+    row.target_share = weight_sum > 0.0 ? ts.weight / weight_sum : 0.0;
+    row.share_error = row.target_share > 0.0
+                          ? (row.window_share - row.target_share) /
+                                row.target_share
+                          : 0.0;
+    row.mean_wait_ns = ts.batches ? static_cast<double>(ts.wait_ns) /
+                                        static_cast<double>(ts.batches)
+                                  : 0.0;
+
+    report.max_abs_share_error =
+        std::max(report.max_abs_share_error,
+                 row.share_error < 0 ? -row.share_error : row.share_error);
+    report.max_wait_ns = std::max(report.max_wait_ns, ts.max_wait_ns);
+    total_batches += ts.batches;
+    total_wait += static_cast<double>(ts.wait_ns);
+
+    normalized.push_back(ts.weight > 0.0
+                             ? static_cast<double>(ts.window_service_ns) /
+                                   ts.weight
+                             : 0.0);
+    mean_waits.push_back(row.mean_wait_ns);
+    report.rows.push_back(row);
+  }
+
+  report.jain_index = jains_index(normalized);
+  report.mean_wait_ns =
+      total_batches ? total_wait / static_cast<double>(total_batches) : 0.0;
+  report.p99_wait_ns = percentile(mean_waits, 0.99);
+  return report;
+}
+
+std::string serialize_tenant(std::size_t index, const TenantStats& stats) {
+  std::string out = "tenant";
+  append_u64(out, "id", index);
+  append_f(out, "weight", stats.weight);
+  append_u64(out, "quota", stats.quota_pages);
+  append_u64(out, "batches", stats.batches);
+  append_u64(out, "faults", stats.faults);
+  append_u64(out, "grants", stats.grants);
+  append_u64(out, "deferrals", stats.deferrals);
+  append_u64(out, "evictions", stats.evictions);
+  append_u64(out, "service", stats.service_ns);
+  append_u64(out, "window", stats.window_service_ns);
+  append_u64(out, "wfaults", stats.window_faults);
+  append_u64(out, "wait", stats.wait_ns);
+  append_u64(out, "maxwait", stats.max_wait_ns);
+  append_u64(out, "lockwait", stats.lock_wait_ns);
+  append_u64(out, "maxgrant", stats.max_grant_ns);
+  append_u64(out, "done", stats.completion_ns);
+  return out;
+}
+
+void write_tenant_log(std::ostream& out,
+                      const std::vector<TenantStats>& stats) {
+  out << kTenantLogHeader << '\n';
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    out << serialize_tenant(i, stats[i]) << '\n';
+  }
+}
+
+bool is_tenant_log_header(const std::string& first_line) {
+  return first_line == kTenantLogHeader;
+}
+
+bool read_tenant_log(std::istream& in, TenantParseResult& out) {
+  std::string line;
+  if (!std::getline(in, line) || !is_tenant_log_header(line)) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string_view rest = line;
+    if (rest.substr(0, 7) != "tenant ") {
+      ++out.skipped_lines;
+      continue;
+    }
+    rest.remove_prefix(7);
+    TenantStats ts;
+    bool ok = true;
+    while (ok && !rest.empty()) {
+      const std::size_t space = rest.find(' ');
+      const std::string_view pair = rest.substr(0, space);
+      rest = space == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(space + 1);
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        ok = false;
+        break;
+      }
+      const std::string_view key = pair.substr(0, eq);
+      const std::string_view value = pair.substr(eq + 1);
+      std::uint64_t u = 0;
+      if (key == "weight") {
+        ok = parse_f(value, ts.weight);
+      } else if (key == "id") {
+        ok = parse_u64(value, u);  // positional; index = vector slot
+      } else if (key == "quota") {
+        ok = parse_u64(value, ts.quota_pages);
+      } else if (key == "batches") {
+        ok = parse_u64(value, ts.batches);
+      } else if (key == "faults") {
+        ok = parse_u64(value, ts.faults);
+      } else if (key == "grants") {
+        ok = parse_u64(value, ts.grants);
+      } else if (key == "deferrals") {
+        ok = parse_u64(value, ts.deferrals);
+      } else if (key == "evictions") {
+        ok = parse_u64(value, ts.evictions);
+      } else if (key == "service") {
+        ok = parse_u64(value, ts.service_ns);
+      } else if (key == "window") {
+        ok = parse_u64(value, ts.window_service_ns);
+      } else if (key == "wfaults") {
+        ok = parse_u64(value, ts.window_faults);
+      } else if (key == "wait") {
+        ok = parse_u64(value, ts.wait_ns);
+      } else if (key == "maxwait") {
+        ok = parse_u64(value, ts.max_wait_ns);
+      } else if (key == "lockwait") {
+        ok = parse_u64(value, ts.lock_wait_ns);
+      } else if (key == "maxgrant") {
+        ok = parse_u64(value, ts.max_grant_ns);
+      } else if (key == "done") {
+        ok = parse_u64(value, ts.completion_ns);
+      }
+      // Unknown keys are tolerated (forward compatibility), like the
+      // batch-log parser.
+    }
+    if (!ok) {
+      ++out.skipped_lines;
+      continue;
+    }
+    out.stats.push_back(ts);
+  }
+  return true;
+}
+
+std::string tenant_report_table(const TenantReport& report) {
+  TablePrinter table({"tenant", "weight", "grants", "batches", "share",
+                      "target", "err%", "wait_us", "maxwait_us",
+                      "lockwait_us", "evict"});
+  for (const auto& row : report.rows) {
+    table.add_row({std::to_string(row.tenant), fmt(row.weight, 2),
+                   std::to_string(row.grants), std::to_string(row.batches),
+                   fmt(row.window_share * 100.0, 2),
+                   fmt(row.target_share * 100.0, 2),
+                   fmt(row.share_error * 100.0, 2),
+                   fmt(row.mean_wait_ns / 1000.0, 2),
+                   fmt_us(row.max_wait_ns), fmt_us(row.lock_wait_ns),
+                   std::to_string(row.evictions)});
+  }
+  std::string out = table.render();
+  out += "jain_index ";
+  out += fmt(report.jain_index, 4);
+  out += "  max_share_error ";
+  out += fmt(report.max_abs_share_error * 100.0, 2);
+  out += "%  mean_wait_us ";
+  out += fmt(report.mean_wait_ns / 1000.0, 2);
+  out += "  max_wait_us ";
+  out += fmt_us(report.max_wait_ns);
+  out += '\n';
+  return out;
+}
+
+std::string tenant_report_json(const TenantReport& report) {
+  std::string out = "{\"tenants\":[";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const auto& row = report.rows[i];
+    if (i) out += ',';
+    out += "{\"tenant\":" + std::to_string(row.tenant);
+    out += ",\"weight\":" + json_f(row.weight);
+    out += ",\"quota_pages\":" + std::to_string(row.quota_pages);
+    out += ",\"grants\":" + std::to_string(row.grants);
+    out += ",\"batches\":" + std::to_string(row.batches);
+    out += ",\"faults\":" + std::to_string(row.faults);
+    out += ",\"deferrals\":" + std::to_string(row.deferrals);
+    out += ",\"evictions\":" + std::to_string(row.evictions);
+    out += ",\"service_ns\":" + std::to_string(row.service_ns);
+    out += ",\"window_service_ns\":" + std::to_string(row.window_service_ns);
+    out += ",\"window_faults\":" + std::to_string(row.window_faults);
+    out += ",\"window_share\":" + json_f(row.window_share);
+    out += ",\"target_share\":" + json_f(row.target_share);
+    out += ",\"share_error\":" + json_f(row.share_error);
+    out += ",\"mean_wait_ns\":" + json_f(row.mean_wait_ns);
+    out += ",\"max_wait_ns\":" + std::to_string(row.max_wait_ns);
+    out += ",\"lock_wait_ns\":" + std::to_string(row.lock_wait_ns);
+    out += ",\"max_grant_ns\":" + std::to_string(row.max_grant_ns);
+    out += ",\"completion_ns\":" + std::to_string(row.completion_ns);
+    out += '}';
+  }
+  out += "],\"jain_index\":" + json_f(report.jain_index);
+  out += ",\"max_share_error\":" + json_f(report.max_abs_share_error);
+  out += ",\"window_ns\":" + std::to_string(report.window_ns);
+  out += ",\"mean_wait_ns\":" + json_f(report.mean_wait_ns);
+  out += ",\"p99_wait_ns\":" + json_f(report.p99_wait_ns);
+  out += ",\"max_wait_ns\":" + std::to_string(report.max_wait_ns);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace uvmsim

@@ -82,6 +82,17 @@ double percentile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double jains_index(const std::vector<double>& x) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (x.empty() || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(x.size()) * sum_sq);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo),
       width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),

@@ -54,6 +54,13 @@ LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y)
 /// statistics. Copies and sorts internally; empty input yields 0.
 double percentile(std::vector<double> values, double q);
 
+/// Jain's fairness index (Σx)² / (n·Σx²) over nonnegative allocations.
+/// 1.0 = perfectly equal, 1/n = one party holds everything. Feed it
+/// weight-normalized allocations (x_i = service_i / weight_i) to measure
+/// weighted fairness. Empty or all-zero input yields 1.0 (nothing was
+/// allocated, so nothing was unfair).
+double jains_index(const std::vector<double>& x);
+
 /// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow
 /// accounting. Used by batch-profile benches for distribution summaries.
 class Histogram {

@@ -1,0 +1,97 @@
+#include "uvm/tenant_sched.hpp"
+
+#include <stdexcept>
+
+namespace uvmsim {
+
+TenantScheduler::TenantScheduler(TenantSchedConfig config,
+                                 std::vector<double> weights)
+    : config_(config), weights_(std::move(weights)) {
+  for (const double w : weights_) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument(
+          "TenantScheduler: every tenant weight must be > 0");
+    }
+  }
+  if (config_.policy == TenantSchedPolicy::kDeficitRoundRobin &&
+      config_.drr_quantum_faults == 0) {
+    throw std::invalid_argument(
+        "TenantScheduler: drr_quantum_faults must be > 0");
+  }
+  vtime_.assign(weights_.size(), 0.0);
+  deficit_.assign(weights_.size(), 0.0);
+  eligible_mask_.assign(weights_.size(), false);
+}
+
+std::size_t TenantScheduler::pick(const std::vector<std::size_t>& eligible) {
+  if (eligible.empty()) {
+    throw std::invalid_argument("TenantScheduler::pick: empty eligible set");
+  }
+  switch (config_.policy) {
+    case TenantSchedPolicy::kStride:
+      return pick_stride(eligible);
+    case TenantSchedPolicy::kDeficitRoundRobin:
+      return pick_drr(eligible);
+    case TenantSchedPolicy::kFcfs:
+      return eligible.front();
+  }
+  return eligible.front();
+}
+
+std::size_t TenantScheduler::pick_stride(
+    const std::vector<std::size_t>& eligible) {
+  // Tenants re-entering the backlog are lifted to the global virtual time
+  // (the last winner's start tag): lag is forgiven but never banked.
+  for (const std::size_t i : eligible) {
+    if (vtime_.at(i) < global_vtime_) vtime_[i] = global_vtime_;
+  }
+  std::size_t winner = eligible.front();
+  for (const std::size_t i : eligible) {
+    if (vtime_[i] < vtime_[winner]) winner = i;  // ties: lowest index
+  }
+  global_vtime_ = vtime_[winner];
+  return winner;
+}
+
+std::size_t TenantScheduler::pick_drr(
+    const std::vector<std::size_t>& eligible) {
+  const std::size_t n = weights_.size();
+  for (const std::size_t i : eligible) eligible_mask_.at(i) = true;
+  const auto scan = [&]() -> std::size_t {
+    // First backlogged tenant with credit, scanning the ring from cursor_.
+    for (std::size_t off = 0; off < n; ++off) {
+      const std::size_t i = (cursor_ + off) % n;
+      if (eligible_mask_[i] && deficit_[i] > 0.0) return i;
+    }
+    return n;  // nobody has credit
+  };
+  std::size_t winner = scan();
+  while (winner >= n) {
+    // Refill only backlogged tenants: idle tenants never bank deficit.
+    for (const std::size_t i : eligible) {
+      deficit_[i] +=
+          static_cast<double>(config_.drr_quantum_faults) * weights_[i];
+    }
+    winner = scan();
+  }
+  for (const std::size_t i : eligible) eligible_mask_[i] = false;
+  return winner;
+}
+
+void TenantScheduler::charge(std::size_t tenant, SimTime service_ns,
+                             std::uint64_t faults) {
+  switch (config_.policy) {
+    case TenantSchedPolicy::kStride:
+      vtime_.at(tenant) +=
+          static_cast<double>(service_ns) / weights_.at(tenant);
+      break;
+    case TenantSchedPolicy::kDeficitRoundRobin:
+      deficit_.at(tenant) -= static_cast<double>(faults);
+      cursor_ = (tenant + 1) % weights_.size();
+      break;
+    case TenantSchedPolicy::kFcfs:
+      break;  // stateless
+  }
+}
+
+}  // namespace uvmsim

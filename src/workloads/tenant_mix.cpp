@@ -1,0 +1,75 @@
+#include "workloads/tenant_mix.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace uvmsim {
+namespace {
+
+/// Deterministic per-tenant jitter in [lo, hi], a pure function of
+/// (seed, index) so roster construction order never matters.
+std::uint64_t jitter(std::uint64_t seed, std::uint32_t index,
+                     std::uint64_t lo, std::uint64_t hi) {
+  SplitMix64 mix(seed ^ ((index + 1) * 0x9E3779B97F4A7C15ULL));
+  return lo + mix.next() % (hi - lo + 1);
+}
+
+}  // namespace
+
+std::vector<WorkloadSpec> make_tenant_roster(std::uint32_t n, TenantMix mix,
+                                             std::uint64_t seed,
+                                             std::uint64_t footprint_kb) {
+  footprint_kb = std::max<std::uint64_t>(footprint_kb, 16);
+  std::vector<WorkloadSpec> roster;
+  roster.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (mix == TenantMix::kUniform) {
+      // footprint = 3 double vectors.
+      roster.push_back(
+          make_stream_triad(footprint_kb * 1024 / (3 * sizeof(double))));
+      continue;
+    }
+    // Mixed: cycle four access patterns, each jittered to 50%..150% of the
+    // nominal footprint so no two tenants are exact clones. The cycle
+    // deliberately sticks to patterns with comparable per-batch service
+    // cost (make_random's scattered batches cost ~5x a sequential batch,
+    // which would turn single-grant granularity into a share error for
+    // small-weight tenants); fuzz harnesses mix make_random in directly.
+    const std::uint64_t kb =
+        jitter(seed, i, footprint_kb / 2, footprint_kb + footprint_kb / 2);
+    switch (i % 4) {
+      case 0:
+        roster.push_back(make_stream_triad(kb * 1024 / (3 * sizeof(double))));
+        break;
+      case 1:
+        roster.push_back(make_regular(kb * 1024));
+        break;
+      case 2:
+        // FFT is out-of-place complex<float>: 2 buffers of 8 bytes/elem.
+        roster.push_back(make_fft(kb * 1024 / 16));
+        break;
+      default:
+        roster.push_back(
+            make_vecadd_coalesced(kb * 1024 / (3 * sizeof(float))));
+        break;
+    }
+  }
+  return roster;
+}
+
+std::vector<TenantConfig> make_tenant_matrix(
+    std::uint32_t n, const std::vector<double>& weight_cycle,
+    std::uint64_t quota_pages, std::uint32_t max_batches_per_grant) {
+  std::vector<TenantConfig> tenants(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!weight_cycle.empty()) {
+      tenants[i].weight = weight_cycle[i % weight_cycle.size()];
+    }
+    tenants[i].quota_pages = quota_pages;
+    tenants[i].max_batches_per_grant = max_batches_per_grant;
+  }
+  return tenants;
+}
+
+}  // namespace uvmsim

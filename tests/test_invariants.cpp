@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "analysis/log_io.hpp"
+#include "analysis/tenant_report.hpp"
+#include "core/multi_client.hpp"
 #include "core/system.hpp"
 #include "test_util.hpp"
 
@@ -378,6 +380,43 @@ TEST(ShardDeterminism, FatalRunsAreByteIdenticalAcrossShardsAndModes) {
     const ObservedRun stepped = observe(c, 1, AdvanceMode::kTimeStepped);
     expect_identical(stepped, base,
                      "seed " + std::to_string(seed) + " stepped");
+  }
+}
+
+TEST(ShardDeterminism, TenantSchedulingIsByteIdenticalAcrossShardsAndModes) {
+  // The weighted fair scheduler consults only simulated quantities
+  // (grant times, service ns, fault counts), so randomized multi-tenant
+  // rosters must reproduce the full contention ledger — tenant lines and
+  // every client's batch log — for every shard count and both engine
+  // modes.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const testutil::TenantFuzzCase c = testutil::make_tenant_fuzz_case(seed);
+    const auto observe = [&c](unsigned shards, AdvanceMode mode) {
+      SystemConfig cfg = c.config;
+      cfg.engine.shards = shards;
+      cfg.engine.mode = mode;
+      MultiClientSystem multi(cfg, c.tenants, c.sched);
+      const auto result = multi.run(c.specs);
+      std::string text;
+      for (std::size_t i = 0; i < result.per_tenant.size(); ++i) {
+        text += serialize_tenant(i, result.per_tenant[i]);
+        text += '\n';
+      }
+      for (const RunResult& r : result.per_client) {
+        for (const auto& rec : r.log) {
+          text += serialize_batch(rec);
+          text += '\n';
+        }
+      }
+      return text;
+    };
+    const std::string base = observe(1, AdvanceMode::kEventDriven);
+    for (const unsigned shards : {2u, 4u}) {
+      ASSERT_EQ(observe(shards, AdvanceMode::kEventDriven), base)
+          << "seed " << seed << " shards " << shards;
+    }
+    ASSERT_EQ(observe(1, AdvanceMode::kTimeStepped), base)
+        << "seed " << seed << " stepped";
   }
 }
 

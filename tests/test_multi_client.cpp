@@ -8,12 +8,15 @@
 #include <gtest/gtest.h>
 
 #include "analysis/log_io.hpp"
+#include "analysis/tenant_report.hpp"
 #include "test_util.hpp"
 
 namespace uvmsim {
 namespace {
 
+using testutil::make_tenant_fuzz_case;
 using testutil::small_config;
+using testutil::TenantFuzzCase;
 
 // A 64-client roster cycling through four paper workloads with varied
 // footprints, so contention mixes regular, strided, and butterfly access.
@@ -228,6 +231,64 @@ TEST(MultiClient, SixtyFourClientRunIsByteIdenticalAcrossShards) {
       ASSERT_EQ(traces[i], base_traces[i])
           << "shards " << shards << " client " << i;
     }
+  }
+}
+
+// Everything a multi-tenant run externalizes, serialized for bytewise
+// comparison: aggregates, the per-tenant ledger, every client's batch log.
+std::string serialize_multi_run(const MultiClientResult& result) {
+  std::string out = "makespan=" + std::to_string(result.makespan_ns) +
+                    " busy=" + std::to_string(result.worker_busy_ns) +
+                    " batches=" + std::to_string(result.batches_serviced) +
+                    "\n";
+  for (std::size_t i = 0; i < result.per_tenant.size(); ++i) {
+    out += serialize_tenant(i, result.per_tenant[i]);
+    out += '\n';
+  }
+  for (const RunResult& r : result.per_client) {
+    for (const auto& rec : r.log) {
+      out += serialize_batch(rec);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+TEST(MultiClient, UniformFcfsTenantsAreByteIdenticalToLegacyRoster) {
+  // The compatibility contract: uniform weights + quotas off + FCFS is
+  // THE pre-tenant system — same arbitration, same seeds, same bytes.
+  SystemConfig cfg = small_config();
+  MultiClientSystem legacy(cfg, 16);
+  MultiClientSystem tenants(cfg, std::vector<TenantConfig>(16),
+                            TenantSchedConfig{});
+  const std::vector<WorkloadSpec> roster = mixed_roster_64();
+  const std::vector<WorkloadSpec> specs(roster.begin(), roster.begin() + 16);
+  const auto a = legacy.run(specs);
+  const auto b = tenants.run(specs);
+  EXPECT_EQ(b.sched_policy, TenantSchedPolicy::kFcfs);
+  ASSERT_EQ(serialize_multi_run(b), serialize_multi_run(a));
+}
+
+TEST(MultiClient, TenantRunsAreByteIdenticalAcrossShardsAndModes) {
+  // The weighted arbitration must stay a pure function of simulation
+  // state: every shard count and the time-stepped reference mode
+  // reproduce the tenant ledger and every client's batch log exactly.
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const TenantFuzzCase c = make_tenant_fuzz_case(seed);
+    const auto observe = [&c](unsigned shards, AdvanceMode mode) {
+      SystemConfig cfg = c.config;
+      cfg.engine.shards = shards;
+      cfg.engine.mode = mode;
+      MultiClientSystem multi(cfg, c.tenants, c.sched);
+      return serialize_multi_run(multi.run(c.specs));
+    };
+    const std::string base = observe(1, AdvanceMode::kEventDriven);
+    for (const unsigned shards : {2u, 4u}) {
+      ASSERT_EQ(observe(shards, AdvanceMode::kEventDriven), base)
+          << "seed " << seed << " shards " << shards;
+    }
+    ASSERT_EQ(observe(1, AdvanceMode::kTimeStepped), base)
+        << "seed " << seed << " stepped";
   }
 }
 

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <random>
+#include <vector>
 
 #include "core/system.hpp"
+#include "uvm/tenant.hpp"
 
 namespace uvmsim::testutil {
 
@@ -109,6 +111,66 @@ inline FuzzCase make_counter_fuzz_case(std::uint64_t seed) {
   ac.buffer_entries = 8u << (rng() % 6);     // down to 8: forces drops
   ac.batch_size = 8u << (rng() % 3);
   ac.evict_for_promotion = (rng() % 2) == 0;  // both promotion policies
+  return c;
+}
+
+/// One randomized multi-tenant server scenario: a roster of tenants with
+/// mixed weights, per-grant caps, occasional oversubscription quotas, and
+/// heterogeneous per-tenant workloads, under one of the weighted
+/// arbitration disciplines. Separate draw stream, like the other fuzz
+/// extensions, so the single-client cases stay byte-for-byte what they
+/// were.
+struct TenantFuzzCase {
+  std::vector<WorkloadSpec> specs;
+  std::vector<TenantConfig> tenants;
+  TenantSchedConfig sched;
+  SystemConfig config;
+};
+
+inline TenantFuzzCase make_tenant_fuzz_case(std::uint64_t seed) {
+  std::mt19937_64 rng(0x7E4A47ULL ^ (seed * 0x9E3779B97F4A7C15ULL));
+  TenantFuzzCase c;
+  c.config = small_config(16);
+  c.config.seed = rng();
+  // Prefetch migrates whole 2 MB blocks on first touch, which collapses
+  // the fault stream to ~one batch per tenant — no contention to
+  // arbitrate. The fairness properties need a dense fault stream.
+  c.config.driver.prefetch_enabled = false;
+  c.config.driver.big_page_promotion = false;
+  c.config.driver.batch_size = 64u << (rng() % 2);
+  c.sched.policy = rng() % 2 == 0 ? TenantSchedPolicy::kStride
+                                  : TenantSchedPolicy::kDeficitRoundRobin;
+  c.sched.drr_quantum_faults = 64u << (rng() % 3);
+
+  const std::uint32_t n = 4 + static_cast<std::uint32_t>(rng() % 13);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TenantConfig t;
+    t.weight = static_cast<double>(1u << (rng() % 3));  // 1, 2, or 4
+    t.max_batches_per_grant = 1 + static_cast<std::uint32_t>(rng() % 3);
+    std::uint64_t kb = 512 + rng() % 1536;  // 0.5 .. 2 MB
+    if (rng() % 4 == 0) {
+      // Quota'd tenant: cap residency at 2..6 MB and size the footprint
+      // past the cap so the quota actually applies eviction pressure.
+      t.quota_pages = 512 * (1 + rng() % 3);
+      kb = 4096 + rng() % 4096;  // 4 .. 8 MB
+    }
+    c.tenants.push_back(t);
+    switch (rng() % 4) {
+      case 0:
+        c.specs.push_back(make_stream_triad(kb * 1024 / (3 * sizeof(double))));
+        break;
+      case 1:
+        c.specs.push_back(make_regular(kb * 1024));
+        break;
+      case 2:
+        c.specs.push_back(make_random(kb * 1024, rng()));
+        break;
+      default:
+        c.specs.push_back(
+            make_vecadd_coalesced(kb * 1024 / (3 * sizeof(float))));
+        break;
+    }
+  }
   return c;
 }
 

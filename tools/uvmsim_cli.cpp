@@ -19,7 +19,10 @@
 #include "analysis/parallelism.hpp"
 #include "analysis/summary.hpp"
 #include "analysis/table.hpp"
+#include "analysis/tenant_report.hpp"
+#include "core/multi_client.hpp"
 #include "core/system.hpp"
+#include "workloads/tenant_mix.hpp"
 #include "workloads/workload.hpp"
 
 namespace {
@@ -139,9 +142,162 @@ int cmd_list() {
   std::printf("access counters: --access-counters [G,T] (granularity pages, "
               "notification threshold) --ctr-buffer N --ctr-batch N "
               "--ctr-migrate-advised --ctr-evict --inject-counter-loss P\n");
+  std::printf("multi-tenant server: --tenants N --tenant-weights 1,2,4 "
+              "--tenant-sched fcfs|drr|stride --drr-quantum N "
+              "--tenant-quota-mb Q --tenant-max-batches M "
+              "--tenant-mix mixed|uniform --tenant-kb N --tenant-table "
+              "--tenant-log FILE (fairness ledger; feed to analyze) "
+              "--check-fairness ERR%%,JAIN (exit 5 on violation)\n");
   std::printf("analyze: --phases (per-phase distribution) --json "
               "(machine-readable summary incl. counter_stats and "
-              "recovery_stats)\n");
+              "recovery_stats; tenant logs yield tenant_stats with "
+              "Jain's index)\n");
+  return 0;
+}
+
+/// `run --tenants N ...`: the multi-tenant server path. Consumes the same
+/// config flags as a single run, builds an N-workload roster, and services
+/// it through MultiClientSystem under the requested arbitration policy.
+int run_tenants(const Args& args, SystemConfig cfg) {
+  const auto n = static_cast<std::uint32_t>(args.get_u64("tenants", 2));
+  if (n == 0) {
+    std::fprintf(stderr, "--tenants wants at least 1 client\n");
+    return 2;
+  }
+
+  TenantSchedConfig sched;
+  if (const std::string policy = args.get("tenant-sched", "fcfs");
+      policy == "drr") {
+    sched.policy = TenantSchedPolicy::kDeficitRoundRobin;
+  } else if (policy == "stride") {
+    sched.policy = TenantSchedPolicy::kStride;
+  } else if (policy != "fcfs") {
+    std::fprintf(stderr, "unknown --tenant-sched '%s' (fcfs|drr|stride)\n",
+                 policy.c_str());
+    return 2;
+  }
+  sched.drr_quantum_faults =
+      args.get_u64("drr-quantum", sched.drr_quantum_faults);
+
+  // --tenant-weights 1,2,4 cycles over the roster; default uniform.
+  std::vector<double> weight_cycle;
+  if (std::string weights = args.get("tenant-weights", ""); !weights.empty()) {
+    while (!weights.empty()) {
+      const std::size_t comma = weights.find(',');
+      const std::string item = weights.substr(0, comma);
+      try {
+        weight_cycle.push_back(std::stod(item));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "bad weight '%s' in --tenant-weights\n",
+                     item.c_str());
+        return 2;
+      }
+      if (comma == std::string::npos) break;
+      weights.erase(0, comma + 1);
+    }
+  }
+  const std::uint64_t quota_pages =
+      args.get_u64("tenant-quota-mb", 0) * (1ULL << 20) / kPageSize;
+  const auto max_batches =
+      static_cast<std::uint32_t>(args.get_u64("tenant-max-batches", 0));
+  auto tenants = make_tenant_matrix(n, weight_cycle, quota_pages, max_batches);
+
+  TenantMix mix = TenantMix::kMixed;
+  if (const std::string mix_arg = args.get("tenant-mix", "mixed");
+      mix_arg == "uniform") {
+    mix = TenantMix::kUniform;
+  } else if (mix_arg != "mixed") {
+    std::fprintf(stderr, "unknown --tenant-mix '%s' (mixed|uniform)\n",
+                 mix_arg.c_str());
+    return 2;
+  }
+  const auto roster = make_tenant_roster(n, mix, cfg.seed,
+                                         args.get_u64("tenant-kb", 256));
+
+  MultiClientSystem system(cfg, std::move(tenants), sched);
+  const MultiClientResult result = system.run(roster);
+  const TenantReport report = build_tenant_report(result.per_tenant);
+
+  std::printf("tenants=%u sched=%s makespan_ms=%.3f batches=%llu "
+              "worker_busy_ms=%.3f jain=%.4f max_share_err=%.2f%% "
+              "mean_wait_us=%.2f max_wait_us=%.2f\n",
+              n, args.get("tenant-sched", "fcfs").c_str(),
+              result.makespan_ns / 1e6,
+              static_cast<unsigned long long>(result.batches_serviced),
+              result.worker_busy_ns / 1e6, report.jain_index,
+              report.max_abs_share_error * 100.0,
+              report.mean_wait_ns / 1e3, report.max_wait_ns / 1e3);
+  if (args.flag("tenant-table")) {
+    std::printf("%s", tenant_report_table(report).c_str());
+  }
+  if (args.flag("engine-stats")) {
+    const auto& es = system.engine_stats();
+    std::printf("engine: events=%llu posted=%llu cancelled=%llu "
+                "idle_skipped_ms=%.3f max_queue=%zu\n",
+                static_cast<unsigned long long>(es.executed),
+                static_cast<unsigned long long>(es.posted),
+                static_cast<unsigned long long>(es.cancelled),
+                es.idle_ns_skipped / 1e6, es.max_queue_depth);
+  }
+
+  if (const std::string path = args.get("tenant-log", ""); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 3;
+    }
+    write_tenant_log(out, result.per_tenant);
+    std::printf("tenant log written to %s (%zu tenants)\n", path.c_str(),
+                result.per_tenant.size());
+  }
+  if (const std::string path = args.get("log", ""); !path.empty()) {
+    // Concatenated per-client batch logs in client order: a byte-stable
+    // image of every batch the shared worker serviced.
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 3;
+    }
+    std::size_t records = 0;
+    for (const auto& rr : result.per_client) {
+      write_batch_log(out, rr.log);
+      records += rr.log.size();
+    }
+    std::printf("batch log written to %s (%zu records)\n", path.c_str(),
+                records);
+  }
+  // --check-fairness MAXERR%,MINJAIN: gate for CI — exit 5 when the
+  // in-window shares drift past MAXERR percent of the weight targets or
+  // Jain's index drops below MINJAIN.
+  if (const std::string check = args.get("check-fairness", "");
+      !check.empty()) {
+    const std::size_t comma = check.find(',');
+    double max_err_pct = 0.0;
+    double min_jain = 0.0;
+    try {
+      max_err_pct = std::stod(check.substr(0, comma));
+      if (comma != std::string::npos) {
+        min_jain = std::stod(check.substr(comma + 1));
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad --check-fairness '%s' (want ERR%%,JAIN)\n",
+                   check.c_str());
+      return 2;
+    }
+    if (report.max_abs_share_error * 100.0 > max_err_pct ||
+        report.jain_index < min_jain) {
+      std::fprintf(stderr,
+                   "fairness check FAILED: max_share_err=%.2f%% (limit "
+                   "%.2f%%) jain=%.4f (floor %.4f)\n",
+                   report.max_abs_share_error * 100.0, max_err_pct,
+                   report.jain_index, min_jain);
+      return 5;
+    }
+    std::printf("fairness check ok: max_share_err=%.2f%% <= %.2f%%, "
+                "jain=%.4f >= %.4f\n",
+                report.max_abs_share_error * 100.0, max_err_pct,
+                report.jain_index, min_jain);
+  }
   return 0;
 }
 
@@ -293,6 +449,10 @@ int cmd_run(const Args& args) {
     }
   }
 
+  // Multi-tenant server mode: same config flags, N-workload roster,
+  // MultiClientSystem instead of System.
+  if (args.flag("tenants")) return run_tenants(args, cfg);
+
   System system(cfg);
   const RunResult result = system.run(*spec);
 
@@ -429,11 +589,50 @@ int cmd_trace(Args args) {
   return cmd_run(args);
 }
 
+/// Analyze a "#uvmsim-tenant-log v1" file: fairness table or --json
+/// tenant_stats.
+int analyze_tenant_log(std::ifstream& in, const std::string& path,
+                       const Args& args) {
+  TenantParseResult parsed;
+  if (!read_tenant_log(in, parsed) || parsed.stats.empty()) {
+    std::fprintf(stderr, "no parsable tenant records in %s\n", path.c_str());
+    return 2;
+  }
+  if (parsed.skipped_lines > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed lines\n",
+                 parsed.skipped_lines);
+  }
+  const TenantReport report = build_tenant_report(parsed.stats);
+  if (args.flag("json")) {
+    std::printf("{\"tenant_stats\":%s}\n",
+                [&] {
+                  std::string body = tenant_report_json(report);
+                  if (!body.empty() && body.back() == '\n') body.pop_back();
+                  return body;
+                }()
+                    .c_str());
+    return 0;
+  }
+  std::printf("%s", tenant_report_table(report).c_str());
+  return 0;
+}
+
 int cmd_analyze(const std::string& path, const Args& args) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 2;
+  }
+  // Sniff the first line: tenant logs carry a version header, batch logs
+  // start straight with "batch ..." records.
+  {
+    std::string first_line;
+    if (std::getline(in, first_line) && is_tenant_log_header(first_line)) {
+      in.seekg(0);
+      return analyze_tenant_log(in, path, args);
+    }
+    in.clear();
+    in.seekg(0);
   }
   const auto parsed = read_batch_log(in);
   if (parsed.log.empty()) {
