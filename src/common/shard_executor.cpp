@@ -1,95 +1,208 @@
 #include "common/shard_executor.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
 namespace uvmsim {
 
-ShardExecutor::ShardExecutor(unsigned shards)
-    : shards_(shards < 1 ? 1u : shards) {
+namespace {
+
+// Spin budget before a worker starts yielding, and yield budget before
+// it parks on the condvar. Tuned for "the next fan-out arrives within a
+// few microseconds" — the common case inside a generation window.
+constexpr int kSpinIters = 64;
+constexpr int kYieldIters = 16;
+constexpr int kCalibrationRuns = 8;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardExecutor::ShardExecutor(unsigned shards, ShardGateMode gate_mode)
+    : shards_(shards < 1 ? 1u : shards), gate_mode_(gate_mode) {
+  // Lanes the host can actually run concurrently: fan-out savings scale
+  // with this, not with the configured shard count. hardware_concurrency
+  // may return 0 ("unknown"); treat that as plentiful so the gate falls
+  // back to the pure work-vs-overhead comparison.
+  const unsigned hw = std::thread::hardware_concurrency();
+  gate_lanes_ = std::min(shards_, hw == 0 ? shards_ : hw);
+  slots_ = std::make_unique<Slot[]>(shards_);
   if (shards_ > 1) {
-    errors_.resize(shards_);
     workers_.reserve(shards_ - 1);
     for (unsigned s = 1; s < shards_; ++s) {
       workers_.emplace_back([this, s] { worker_loop(s); });
     }
+    if (gate_mode_ == ShardGateMode::kAuto) calibrate();
   }
 }
 
 ShardExecutor::~ShardExecutor() {
   if (!workers_.empty()) {
+    shutdown_.store(true, std::memory_order_seq_cst);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
-      ++generation_;
+      const std::lock_guard<std::mutex> lock(park_mutex_);
     }
-    start_cv_.notify_all();
+    park_cv_.notify_all();
     for (auto& w : workers_) w.join();
+  }
+}
+
+void ShardExecutor::run_lane(unsigned shard, std::uint64_t epoch,
+                             std::size_t n,
+                             const std::function<void(std::size_t)>* fn,
+                             const std::function<void(unsigned)>* shard_fn) {
+  Slot& slot = slots_[shard];
+  slot.error = nullptr;
+  const std::uint64_t t0 = now_ns();
+  std::uint64_t ran = 0;
+  try {
+    if (shard_fn) {
+      (*shard_fn)(shard);
+      ran = 1;
+    } else if (fn) {
+      for (std::size_t i = shard; i < n; i += shards_) {
+        (*fn)(i);
+        ++ran;
+      }
+    }
+  } catch (...) {
+    slot.error = std::current_exception();
+  }
+  slot.busy_ns += now_ns() - t0;
+  slot.tasks += ran;
+  // seq_cst store pairs with the leader's seq_cst predicate load AND
+  // with the Dekker check against leader_waiting_ below: either the
+  // leader sees `done == epoch` before parking, or this thread sees
+  // leader_waiting_ and delivers the wakeup.
+  slot.done.store(epoch, std::memory_order_seq_cst);
+  if (shard != 0 && leader_waiting_.load(std::memory_order_seq_cst)) {
+    {
+      const std::lock_guard<std::mutex> lock(join_mutex_);
+    }
+    join_cv_.notify_one();
   }
 }
 
 void ShardExecutor::worker_loop(unsigned shard) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
-    const std::function<void(unsigned)>* shard_fn = nullptr;
-    std::size_t n = 0;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
-      seen = generation_;
-      fn = job_fn_;
-      shard_fn = job_shard_fn_;
-      n = job_n_;
+    bool woke = false;
+    for (int i = 0; i < kSpinIters && !woke; ++i) {
+      woke = epoch_.load(std::memory_order_acquire) != seen ||
+             shutdown_.load(std::memory_order_relaxed);
+      if (!woke) cpu_pause();
     }
-    try {
-      if (shard_fn) {
-        (*shard_fn)(shard);
-      } else if (fn) {
-        for (std::size_t i = shard; i < n; i += shards_) (*fn)(i);
-      }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      errors_[shard] = std::current_exception();
+    for (int i = 0; i < kYieldIters && !woke; ++i) {
+      woke = epoch_.load(std::memory_order_acquire) != seen ||
+             shutdown_.load(std::memory_order_relaxed);
+      if (!woke) std::this_thread::yield();
     }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (--remaining_ == 0) done_cv_.notify_all();
+    if (!woke) {
+      std::unique_lock<std::mutex> lock(park_mutex_);
+      // parked_ increment before the predicate check, both under the
+      // mutex: a dispatcher that misses the increment (skips notify)
+      // must have stored the epoch first in seq_cst order, so the
+      // predicate sees it and we never sleep through a job.
+      parked_.fetch_add(1, std::memory_order_seq_cst);
+      park_cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != seen ||
+               shutdown_.load(std::memory_order_seq_cst);
+      });
+      parked_.fetch_sub(1, std::memory_order_relaxed);
     }
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    run_lane(shard, seen, job_n_, job_fn_, job_shard_fn_);
   }
 }
 
-void ShardExecutor::run_cycle(std::size_t n,
-                              const std::function<void(std::size_t)>* fn,
-                              const std::function<void(unsigned)>* shard_fn) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job_n_ = n;
-    job_fn_ = fn;
-    job_shard_fn_ = shard_fn;
-    remaining_ = shards_;
-    for (auto& e : errors_) e = nullptr;
-    ++generation_;
-    ++forks_;
+void ShardExecutor::dispatch(std::size_t n,
+                             const std::function<void(std::size_t)>* fn,
+                             const std::function<void(unsigned)>* shard_fn,
+                             bool count_stats) {
+  job_n_ = n;
+  job_fn_ = fn;
+  job_shard_fn_ = shard_fn;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  // The seq_cst store is the entire dispatch: payload above becomes
+  // visible to any worker whose epoch load observes it.
+  epoch_.store(epoch, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) > 0) {
+    {
+      const std::lock_guard<std::mutex> lock(park_mutex_);
+    }
+    park_cv_.notify_all();
   }
-  start_cv_.notify_all();
 
   // The calling thread is shard 0.
-  try {
-    if (shard_fn) {
-      (*shard_fn)(0);
-    } else if (fn) {
-      for (std::size_t i = 0; i < n; i += shards_) (*fn)(i);
+  run_lane(0, epoch, n, fn, shard_fn);
+
+  const std::uint64_t join_start = now_ns();
+  auto all_done = [&](std::memory_order order) {
+    for (unsigned s = 1; s < shards_; ++s) {
+      if (slots_[s].done.load(order) != epoch) return false;
     }
-  } catch (...) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    errors_[0] = std::current_exception();
+    return true;
+  };
+  bool done = false;
+  for (int i = 0; i < kSpinIters && !done; ++i) {
+    done = all_done(std::memory_order_acquire);
+    if (!done) cpu_pause();
+  }
+  for (int i = 0; i < kYieldIters && !done; ++i) {
+    done = all_done(std::memory_order_acquire);
+    if (!done) std::this_thread::yield();
+  }
+  if (!done) {
+    std::unique_lock<std::mutex> lock(join_mutex_);
+    leader_waiting_.store(true, std::memory_order_seq_cst);
+    join_cv_.wait(lock, [&] { return all_done(std::memory_order_seq_cst); });
+    leader_waiting_.store(false, std::memory_order_relaxed);
+  }
+  if (count_stats) {
+    ++dispatches_;
+    barrier_wait_ns_ += now_ns() - join_start;
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (--remaining_ > 0) {
-    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  for (unsigned s = 0; s < shards_; ++s) {
+    if (slots_[s].error) std::rethrow_exception(slots_[s].error);
   }
-  for (const auto& error : errors_) {
-    if (error) std::rethrow_exception(error);
+}
+
+void ShardExecutor::calibrate() {
+  static const std::function<void(unsigned)> noop = [](unsigned) {};
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (int r = 0; r < kCalibrationRuns; ++r) {
+    const std::uint64_t t0 = now_ns();
+    dispatch(0, nullptr, &noop, /*count_stats=*/false);
+    const std::uint64_t elapsed = now_ns() - t0;
+    if (elapsed < best) best = elapsed;
+  }
+  // Min over runs: scheduling noise only ever inflates a sample, so the
+  // minimum is the closest estimate of the true dispatch cost.
+  gate_.set_overhead_ns(best);
+  // Calibration is measurement, not work: wipe its traces from the
+  // per-slot stats (the pool is quiescent here, next write to these
+  // plain fields is ordered after the next epoch store).
+  for (unsigned s = 0; s < shards_; ++s) {
+    slots_[s].tasks = 0;
+    slots_[s].busy_ns = 0;
   }
 }
 
@@ -100,7 +213,25 @@ void ShardExecutor::parallel_for(
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  run_cycle(n, &fn, nullptr);
+  dispatch(n, &fn, nullptr, /*count_stats=*/true);
+}
+
+void ShardExecutor::parallel_for(
+    std::size_t n, std::uint64_t per_item_ns,
+    const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (shards_ <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (gate_mode_ == ShardGateMode::kAuto &&
+      !gate_.should_fan_out(n, per_item_ns, gate_lanes_)) {
+    ++inline_runs_;
+    inline_tasks_ += n;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  dispatch(n, &fn, nullptr, /*count_stats=*/true);
 }
 
 void ShardExecutor::for_each_shard(const std::function<void(unsigned)>& fn) {
@@ -108,7 +239,35 @@ void ShardExecutor::for_each_shard(const std::function<void(unsigned)>& fn) {
     fn(0);
     return;
   }
-  run_cycle(0, nullptr, &fn);
+  dispatch(0, nullptr, &fn, /*count_stats=*/true);
+}
+
+void ShardExecutor::for_each_shard(std::size_t items,
+                                   std::uint64_t per_item_ns,
+                                   const std::function<void(unsigned)>& fn) {
+  if (shards_ <= 1) {
+    fn(0);
+    return;
+  }
+  if (gate_mode_ == ShardGateMode::kAuto &&
+      !gate_.should_fan_out(items, per_item_ns, gate_lanes_)) {
+    ++inline_runs_;
+    inline_tasks_ += shards_;
+    for (unsigned s = 0; s < shards_; ++s) fn(s);
+    return;
+  }
+  dispatch(0, nullptr, &fn, /*count_stats=*/true);
+}
+
+std::uint64_t ShardExecutor::tasks() const noexcept {
+  std::uint64_t total = inline_tasks_;
+  for (unsigned s = 0; s < shards_; ++s) total += slots_[s].tasks;
+  return total;
+}
+
+std::uint64_t ShardExecutor::worker_busy_ns(unsigned shard) const noexcept {
+  if (shard >= shards_) return 0;
+  return slots_[shard].busy_ns;
 }
 
 }  // namespace uvmsim

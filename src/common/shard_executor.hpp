@@ -1,15 +1,33 @@
-// Host-side shard executor: the fork/join substrate for sharded event
+// Host-side shard executor: the fan-out substrate for sharded event
 // execution inside ONE simulated system.
 //
 // A ShardExecutor owns `shards - 1` persistent worker threads (plus the
 // calling thread) and runs index spaces across them with a STATIC,
 // deterministic partition: shard s executes exactly the indices i with
 // i % shards == s. Every task writes only its own outputs; all shared
-// state is merged by the caller after join(), in deterministic index
-// order. That barrier is the simulated driver-lock synchronization
-// point: shard results become visible to the rest of the system in the
-// same order no matter how the host threads interleave, which is what
-// keeps traces byte-identical with sharding on or off.
+// state is merged by the caller after the barrier, in deterministic
+// index order. That barrier is the simulated driver-lock
+// synchronization point: shard results become visible to the rest of
+// the system in the same order no matter how the host threads
+// interleave, which is what keeps traces byte-identical with sharding
+// on or off.
+//
+// Dispatch protocol (the perf-critical part): instead of the old
+// mutex + condvar rendezvous per call, each fan-out publishes a single
+// seq-numbered job epoch with one atomic store. Workers spin briefly on
+// the epoch counter, yield, and only then park on a condvar; per-shard
+// completion slots are cache-line padded so the barrier join is a few
+// uncontended atomic loads. When workers are hot the per-batch dispatch
+// cost is atomic-increment scale rather than thread-wakeup scale.
+//
+// Gated entry points (`parallel_for` / `for_each_shard` overloads that
+// take a per-item-ns hint) additionally consult a FanoutGate
+// (common/shard_gate.hpp): in ShardGateMode::kAuto the executor
+// self-calibrates its dispatch overhead and runs small batches inline,
+// so sharding never costs more than it saves. Inline and fanned-out
+// execution produce byte-identical simulated output by construction,
+// so the gate decision is invisible to logs/traces/metrics. The ungated
+// entry points always fan out when shards > 1 (tests rely on that).
 //
 // shards <= 1 never spawns a thread — the default configuration is
 // exactly as single-threaded as it was before sharding existed. This
@@ -24,22 +42,30 @@
 //     not host time.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/shard_gate.hpp"
 
 namespace uvmsim {
 
 class ShardExecutor {
  public:
   /// `shards` host execution lanes; clamped to >= 1. Workers are spawned
-  /// eagerly (shards - 1 of them) and parked between fork/join cycles.
-  explicit ShardExecutor(unsigned shards = 1);
+  /// eagerly (shards - 1 of them) and spin-then-park between fan-outs.
+  /// With `gate_mode == kAuto` the dispatch overhead is calibrated at
+  /// construction (a handful of empty fan-outs) so the first gated call
+  /// already has a measured cost model.
+  explicit ShardExecutor(unsigned shards = 1,
+                         ShardGateMode gate_mode = ShardGateMode::kForced);
   ~ShardExecutor();
 
   ShardExecutor(const ShardExecutor&) = delete;
@@ -47,40 +73,128 @@ class ShardExecutor {
 
   unsigned shards() const noexcept { return shards_; }
   bool parallel() const noexcept { return shards_ > 1; }
+  ShardGateMode gate_mode() const noexcept { return gate_mode_; }
+  const FanoutGate& gate() const noexcept { return gate_; }
+  /// Shards the host can actually run concurrently
+  /// (min(shards, hardware cores)); what the gate's savings model uses.
+  /// 1 on a single-core host: gated calls then always run inline.
+  unsigned gate_lanes() const noexcept { return gate_lanes_; }
+
+  /// The decision a gated call with these estimates would make. Pure —
+  /// callers whose INLINE fallback is a different (cheaper serial)
+  /// algorithm branch on this instead of letting the gated entry points
+  /// run the shard-partitioned algorithm sequentially (see uvm/dedup).
+  bool would_fan_out(std::size_t items,
+                     std::uint64_t per_item_ns) const noexcept {
+    if (shards_ <= 1) return false;
+    return gate_mode_ == ShardGateMode::kForced ||
+           gate_.should_fan_out(items, per_item_ns, gate_lanes_);
+  }
 
   /// Run fn(i) for every i in [0, n). Shard s executes the indices with
   /// i % shards == s, so the work-to-lane assignment is a pure function
   /// of (n, shards). Blocks until every index has run (the deterministic
   /// merge barrier). The first exception (by shard index) is rethrown
-  /// after all lanes have drained.
+  /// after all lanes have drained. Always fans out when shards > 1.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Gated variant: `per_item_ns` is the caller's estimate of one
+  /// item's host cost. In kAuto mode, batches whose estimated work
+  /// cannot amortize the measured dispatch overhead run inline on the
+  /// calling thread (same index order 0..n-1; identical output since
+  /// every task writes only its own slot). In kForced mode this is
+  /// identical to the ungated overload.
+  void parallel_for(std::size_t n, std::uint64_t per_item_ns,
+                    const std::function<void(std::size_t)>& fn);
+
   /// Run fn(s) once per shard s in [0, shards). Same barrier semantics.
+  /// Always fans out when shards > 1.
   void for_each_shard(const std::function<void(unsigned)>& fn);
 
-  /// Fork/join cycles executed (one per parallel_for/for_each_shard that
-  /// actually forked; inline runs do not count).
-  std::uint64_t forks() const noexcept { return forks_; }
+  /// Gated variant: `items * per_item_ns` estimates the TOTAL batch
+  /// work the per-shard lambdas will split. Inline execution calls
+  /// fn(0), fn(1), ... fn(shards-1) sequentially, which produces the
+  /// same per-shard outputs the workers would.
+  void for_each_shard(std::size_t items, std::uint64_t per_item_ns,
+                      const std::function<void(unsigned)>& fn);
+
+  // --- observability --------------------------------------------------
+  // Host-side counters only; they vary with host speed and gate
+  // decisions, so they must never be folded into deterministic outputs
+  // unless explicitly requested (see ObsConfig::record_shard_stats).
+
+  /// Fan-out barriers executed (calibration runs excluded).
+  std::uint64_t dispatches() const noexcept { return dispatches_; }
+  /// Legacy name for dispatches(), kept for existing tests/callers.
+  std::uint64_t forks() const noexcept { return dispatches_; }
+  /// Gated calls that ran inline (shards <= 1 runs do not count; they
+  /// never had a pool to skip).
+  std::uint64_t inline_runs() const noexcept { return inline_runs_; }
+  /// Total indices executed across all lanes plus inline runs
+  /// (for_each_shard counts one task per lane invoked).
+  std::uint64_t tasks() const noexcept;
+  /// Host ns the calling thread spent waiting at barriers after
+  /// finishing its own shard-0 slice.
+  std::uint64_t barrier_wait_ns() const noexcept { return barrier_wait_ns_; }
+  /// Cumulative host ns shard `s` spent executing tasks (shard 0 is the
+  /// calling thread). Returns 0 for out-of-range shards.
+  std::uint64_t worker_busy_ns(unsigned shard) const noexcept;
 
  private:
+  // One per shard, cache-line padded so the barrier join never
+  // false-shares. `done` is the synchronization point: the worker
+  // stores the completed epoch with seq_cst after writing the plain
+  // fields, and the leader's acquire-or-stronger load of `done`
+  // publishes them.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> done{0};
+    std::uint64_t busy_ns = 0;
+    std::uint64_t tasks = 0;
+    std::exception_ptr error;
+  };
+
   void worker_loop(unsigned shard);
-  void run_cycle(std::size_t n, const std::function<void(std::size_t)>* fn,
-                 const std::function<void(unsigned)>* shard_fn);
+  void dispatch(std::size_t n, const std::function<void(std::size_t)>* fn,
+                const std::function<void(unsigned)>* shard_fn,
+                bool count_stats);
+  void run_lane(unsigned shard, std::uint64_t epoch, std::size_t n,
+                const std::function<void(std::size_t)>* fn,
+                const std::function<void(unsigned)>* shard_fn);
+  void calibrate();
 
   unsigned shards_;
-  std::uint64_t forks_ = 0;
+  ShardGateMode gate_mode_;
+  FanoutGate gate_;
+  unsigned gate_lanes_ = 1;
 
-  // Fork/join rendezvous state (guarded by mutex_).
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;   // bumped per fork; wakes parked workers
-  unsigned remaining_ = 0;         // lanes still running this cycle
-  bool shutdown_ = false;
+  // Stats (owner-thread writes; read when the pool is quiescent).
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t inline_runs_ = 0;
+  std::uint64_t inline_tasks_ = 0;
+  std::uint64_t barrier_wait_ns_ = 0;
+
+  // Job payload: written by the dispatcher BEFORE the epoch store,
+  // read by workers AFTER their acquire load of the epoch.
   std::size_t job_n_ = 0;
   const std::function<void(std::size_t)>* job_fn_ = nullptr;
   const std::function<void(unsigned)>* job_shard_fn_ = nullptr;
-  std::vector<std::exception_ptr> errors_;
+
+  // Epoch barrier. epoch_ is bumped once per fan-out (the dispatch);
+  // slot s's `done` reaching that value is shard s's completion.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<bool> shutdown_{false};
+  std::unique_ptr<Slot[]> slots_;
+
+  // Worker-side parking (only after the spin/yield phases fail).
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<unsigned> parked_{0};
+
+  // Leader-side parking for the barrier join.
+  std::mutex join_mutex_;
+  std::condition_variable join_cv_;
+  std::atomic<bool> leader_waiting_{false};
+
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,88 @@
+// Adaptive fan-out gate for the shard executor.
+//
+// Fanning a batch out across shard workers only pays when the batch is
+// big enough to amortize the dispatch cost (epoch publish + worker
+// wake + barrier join). On a loaded or low-core host that cost can
+// exceed the work itself, which is exactly how sharding *regressed*
+// fault-heavy workloads before this gate existed. The FanoutGate is a
+// tiny calibrated cost model: the executor measures its own dispatch
+// overhead with a handful of empty fan-outs, and each gated call then
+// compares the work a fan-out would take off the calling thread
+// (`items * per_item_ns` scaled by the lanes the host can actually run
+// concurrently) against that overhead, with a safety margin, to decide
+// inline vs fan-out.
+//
+// The decision is a pure function of (items, per_item_ns, overhead_ns)
+// — no clocks, no per-call state — so repeated calls with the same
+// inputs always decide the same way. The decision only ever selects
+// *which host execution path* runs; both paths produce byte-identical
+// simulated output, so gate variance across hosts can never perturb
+// logs, traces, or metrics.
+//
+// ShardGateMode::kForced preserves the pre-gate behavior (always fan
+// out when shards > 1); tests and the TSan CI gate use it to guarantee
+// the worker-pool path is exercised regardless of host speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace uvmsim {
+
+enum class ShardGateMode : std::uint8_t {
+  kForced = 0,  // always fan out when shards > 1 (legacy / test behavior)
+  kAuto = 1,    // consult the FanoutGate cost model per call
+};
+
+class FanoutGate {
+ public:
+  /// Conservative default until calibration runs: roughly the cost of a
+  /// condvar wakeup round-trip on a busy host.
+  static constexpr std::uint64_t kDefaultOverheadNs = 20'000;
+
+  /// Fan out only when the estimated batch work is at least this many
+  /// times the measured dispatch overhead. Below that the barrier would
+  /// eat most of the win even with perfect scaling.
+  static constexpr std::uint64_t kMargin = 2;
+
+  FanoutGate() = default;
+
+  /// Construct with a known dispatch overhead (unit tests inject this
+  /// so decisions are deterministic without touching a clock).
+  explicit FanoutGate(std::uint64_t overhead_ns) { set_overhead_ns(overhead_ns); }
+
+  bool calibrated() const noexcept { return calibrated_; }
+  std::uint64_t overhead_ns() const noexcept { return overhead_ns_; }
+
+  void set_overhead_ns(std::uint64_t ns) noexcept {
+    overhead_ns_ = ns == 0 ? 1 : ns;
+    calibrated_ = true;
+  }
+
+  /// True when `items` units of ~`per_item_ns` work are worth a fan-out
+  /// across `lanes` concurrently-schedulable shards. The win a fan-out
+  /// can deliver is bounded by the work it takes OFF the calling thread
+  /// — `work * (lanes - 1) / lanes` under perfect scaling — so that
+  /// saving, not the raw work, must clear the dispatch overhead. With
+  /// lanes == 1 (more shards than cores, or a single-core host) there is
+  /// no saving at any batch size and the answer is always no.
+  /// Monotonic in all three arguments; pure, so stable under repetition.
+  bool should_fan_out(std::size_t items, std::uint64_t per_item_ns,
+                      unsigned lanes = 2) const noexcept {
+    if (items == 0 || per_item_ns == 0 || lanes < 2) return false;
+    const std::uint64_t threshold = overhead_ns_ * kMargin;
+    if (items > std::numeric_limits<std::uint64_t>::max() / per_item_ns) {
+      return true;  // estimate overflows u64; certainly beyond threshold
+    }
+    const std::uint64_t work = static_cast<std::uint64_t>(items) * per_item_ns;
+    const std::uint64_t savings = work - work / lanes;
+    return savings >= threshold;
+  }
+
+ private:
+  std::uint64_t overhead_ns_ = kDefaultOverheadNs;
+  bool calibrated_ = false;
+};
+
+}  // namespace uvmsim

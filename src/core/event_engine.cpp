@@ -1,8 +1,19 @@
 #include "core/event_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace uvmsim {
+
+unsigned EngineConfig::resolved_shards() const noexcept {
+  if (shards != kAutoShards) return shards < 1 ? 1u : shards;
+  // `--shards auto`: one lane per hardware thread, capped at the widest
+  // lane count the determinism suites fuzz (8). hardware_concurrency()
+  // may legally return 0 — treat that as "unknown", i.e. single lane.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 1u, 8u);
+}
 
 void EventEngine::pop_stale() const {
   while (!heap_.empty()) {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/shard_gate.hpp"
 #include "common/types.hpp"
 
 namespace uvmsim {
@@ -58,7 +59,22 @@ struct EngineConfig {
   /// Host threads for sharded event execution (per-SM fault generation,
   /// per-VABlock batch preprocessing, per-client streams). 1 = inline,
   /// no threads spawned; results are byte-identical for every value.
+  /// kAutoShards (0, the CLI's `--shards auto`) resolves to the host's
+  /// core count (clamped to [1, 8]) at System construction.
   unsigned shards = 1;
+
+  /// Sentinel for `shards`: pick the lane count from the host.
+  static constexpr unsigned kAutoShards = 0;
+
+  /// How gated fan-outs decide between inline and pooled execution
+  /// (common/shard_gate.hpp). kAuto self-calibrates the dispatch
+  /// overhead and runs batches inline when fanning out cannot pay;
+  /// kForced always fans out (test / TSan behavior). Either way the
+  /// simulated output is byte-identical — only host time changes.
+  ShardGateMode shard_gate = ShardGateMode::kAuto;
+
+  /// The shard count this config resolves to on this host.
+  unsigned resolved_shards() const noexcept;
 };
 
 class EventEngine {

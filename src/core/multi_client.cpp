@@ -35,8 +35,9 @@ MultiClientSystem::MultiClientSystem(SystemConfig config,
         config_, effective_memory_bytes(config_, tenants_[i]),
         config_.seed + 0x9E37 * (idx + 1), config_.obs.trace));
   }
-  if (config_.engine.shards > 1) {
-    shard_exec_ = std::make_unique<ShardExecutor>(config_.engine.shards);
+  if (const unsigned shards = config_.engine.resolved_shards(); shards > 1) {
+    shard_exec_ = std::make_unique<ShardExecutor>(shards,
+                                                  config_.engine.shard_gate);
     // Dedup sharding inside each client's driver reuses the same lanes;
     // handle_batch only ever runs from the arbitration thread (between
     // fan-outs), so the executor is never re-entered.
@@ -95,7 +96,10 @@ MultiClientResult MultiClientSystem::run(
   const auto fan_out = [&](const std::vector<Client*>& work,
                            const std::function<void(Client&)>& fn) {
     if (shard_exec_ && work.size() > 1) {
-      shard_exec_->parallel_for(work.size(),
+      // A client's generation window costs tens of microseconds of host
+      // work, so the adaptive gate fans out for all but tiny rosters.
+      constexpr std::uint64_t kPerClientNs = 20'000;
+      shard_exec_->parallel_for(work.size(), kPerClientNs,
                                 [&](std::size_t i) { fn(*work[i]); });
     } else {
       for (Client* c : work) fn(*c);

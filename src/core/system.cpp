@@ -28,8 +28,9 @@ System::System(SystemConfig config)
     if (counters_) ready += counters_->empty() ? 0u : 1u;
     idle_poll_reads_ += ready;
   });
-  if (config_.engine.shards > 1) {
-    shard_exec_ = std::make_unique<ShardExecutor>(config_.engine.shards);
+  if (const unsigned shards = config_.engine.resolved_shards(); shards > 1) {
+    shard_exec_ = std::make_unique<ShardExecutor>(shards,
+                                                  config_.engine.shard_gate);
     gpu_.set_shard_executor(shard_exec_.get());
     driver_.set_shard_executor(shard_exec_.get());
   }
@@ -405,7 +406,47 @@ RunResult System::run(const WorkloadSpec& spec, RunOptions options) {
     metrics->add("sim.kernel_time_ns", result.kernel_time_ns);
     metrics->add("sim.gpu_compute_ns", result.gpu_compute_ns);
   }
+  record_shard_obs();
   return result;
+}
+
+void System::record_shard_obs() {
+  if (!shard_exec_ || !config_.obs.record_shard_stats) return;
+  const ShardExecutor& ex = *shard_exec_;
+  shard_seen_.worker_busy_ns.resize(ex.shards(), 0);
+
+  if (config_.obs.metrics) {
+    metrics_.add("shard.dispatches", ex.dispatches() - shard_seen_.dispatches);
+    metrics_.add("shard.inline_runs",
+                 ex.inline_runs() - shard_seen_.inline_runs);
+    metrics_.add("shard.tasks", ex.tasks() - shard_seen_.tasks);
+    metrics_.add("shard.barrier_wait_ns",
+                 ex.barrier_wait_ns() - shard_seen_.barrier_wait_ns);
+    for (unsigned s = 0; s < ex.shards(); ++s) {
+      metrics_.add("shard.worker." + std::to_string(s) + ".busy_ns",
+                   ex.worker_busy_ns(s) - shard_seen_.worker_busy_ns[s]);
+    }
+  }
+  if (config_.obs.trace) {
+    // One span per lane per run, laid end to end in cumulative host
+    // busy-ns coordinates: a utilization Gantt, not a simulated-time
+    // timeline (the begin/end are this lane's busy-ns before/after the
+    // run, so span length == host ns the lane computed during the run).
+    for (unsigned s = 0; s < ex.shards(); ++s) {
+      tracer_.set_track_name(tracks::kShardWorkerBase + s,
+                             "host shard " + std::to_string(s));
+      tracer_.span(tracks::kShardWorkerBase + s, "busy",
+                   shard_seen_.worker_busy_ns[s], ex.worker_busy_ns(s));
+    }
+  }
+
+  shard_seen_.dispatches = ex.dispatches();
+  shard_seen_.inline_runs = ex.inline_runs();
+  shard_seen_.tasks = ex.tasks();
+  shard_seen_.barrier_wait_ns = ex.barrier_wait_ns();
+  for (unsigned s = 0; s < ex.shards(); ++s) {
+    shard_seen_.worker_busy_ns[s] = ex.worker_busy_ns(s);
+  }
 }
 
 namespace presets {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/fault_inject.hpp"
 #include "common/shard_executor.hpp"
@@ -141,7 +142,17 @@ class System {
     return shard_exec_ ? shard_exec_->shards() : 1;
   }
 
+  /// The host shard executor, or null when engine.shards resolves to 1.
+  /// Its counters are host wall-clock stats — see
+  /// ObsConfig::record_shard_stats before folding them into outputs.
+  const ShardExecutor* shard_executor() const noexcept {
+    return shard_exec_.get();
+  }
+
  private:
+  /// Mirror shard-executor deltas since the previous run() into the
+  /// metrics registry and tracer (ObsConfig::record_shard_stats).
+  void record_shard_obs();
   /// The nullable handle handed to every layer: points at the members
   /// above for whichever sinks SystemConfig::obs enables.
   Obs obs_handle() noexcept {
@@ -162,6 +173,15 @@ class System {
   // Host fork/join lanes for sharded event execution; null when
   // engine.shards <= 1 (strictly single-threaded, the default).
   std::unique_ptr<ShardExecutor> shard_exec_;
+  // Cumulative shard-executor values already mirrored into obs sinks,
+  // so each run() records only its own delta (record_shard_obs).
+  struct ShardObsCursor {
+    std::uint64_t dispatches = 0;
+    std::uint64_t inline_runs = 0;
+    std::uint64_t tasks = 0;
+    std::uint64_t barrier_wait_ns = 0;
+    std::vector<std::uint64_t> worker_busy_ns;
+  } shard_seen_;
   std::uint64_t idle_poll_reads_ = 0;  // kTimeStepped readiness probes
   PageId last_base_page_ = 0;
   bool has_run_ = false;

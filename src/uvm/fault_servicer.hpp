@@ -75,12 +75,25 @@ class FaultServicer {
     recovery_ = recovery;
   }
 
-  /// Attach host shard lanes: large batches run the dedup/classify stage
-  /// sharded by page (uvm/dedup.hpp), merged deterministically — the
-  /// result is bit-identical to serial dedup. The per-VABlock servicing
-  /// loop itself stays serial: eviction inside one block's service can
-  /// change another queued block's residency, so block services are not
-  /// independent work items. May be null (the default).
+  /// Attach host shard lanes, enabling the sharded servicing pipeline:
+  ///   * large batches run the dedup/classify stage sharded by page
+  ///     (uvm/dedup.hpp), merged deterministically — bit-identical to
+  ///     serial dedup;
+  ///   * per-VABlock servicing splits into a parallel PLAN phase and a
+  ///     serial APPLY phase. Planning is pure per-block read-only work
+  ///     (fault mask + density-prefetch mask + a residency-epoch
+  ///     snapshot, hash-partitioned across lanes by block index), so it
+  ///     takes no lock on the fast path. Every mutation — evictions,
+  ///     recovery-ladder actions, residency updates, RNG draws, span
+  ///     emission — funnels through the apply phase, which walks blocks
+  ///     in ascending id order: that serial funnel is the owner-shard
+  ///     handoff queue for cross-block effects. A plan whose block was
+  ///     mutated by an earlier block's eviction or recovery action fails
+  ///     its epoch check and is recomputed inline at the exact program
+  ///     point the serial servicer would have computed it, which is why
+  ///     the result is byte-identical in every mode (injection,
+  ///     recovery, thrashing included) for every shard count.
+  /// May be null (the default): fully serial reference pipeline.
   void set_shard_executor(ShardExecutor* exec) noexcept {
     shard_exec_ = exec;
   }

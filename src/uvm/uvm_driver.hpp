@@ -99,6 +99,15 @@ class UvmDriver final : public ResidencyOracle {
     return PageLocation::kFaultRequired;
   }
 
+  /// Bulk probe against the residency bitmasks directly. Exact for the
+  /// kGpuResident question: classify() short-circuits on residency
+  /// before any retire/advise/pin lookup, so a resident page classifies
+  /// kGpuResident unconditionally.
+  bool all_gpu_resident(PageId base, const std::uint64_t* bits,
+                        std::size_t words) const override {
+    return space_.all_gpu_resident(base, bits, words);
+  }
+
   const DriverConfig& config() const noexcept { return config_; }
   VaSpace& va_space() noexcept { return space_; }
   const VaSpace& va_space() const noexcept { return space_; }

@@ -6,6 +6,7 @@
 // the input to the unmap/TLB-shootdown cost model (Fig 11).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,6 +91,23 @@ class VaSpace {
     const VaBlockId b = va_block_of(page);
     return b < blocks_.size() &&
            blocks_[b].is_gpu_resident(page_index_in_block(page));
+  }
+
+  /// Bulk form: every page `base + b` for each set bit `b` of `bits`
+  /// (`words` 64-bit words) is GPU-resident. Walks only the set bits, so
+  /// a caller holding a page-footprint bitmask pays per touched page,
+  /// not per mask word.
+  bool all_gpu_resident(PageId base, const std::uint64_t* bits,
+                        std::size_t words) const {
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const unsigned b = static_cast<unsigned>(std::countr_zero(word));
+        word &= word - 1;
+        if (!is_gpu_resident(base + w * 64 + b)) return false;
+      }
+    }
+    return true;
   }
 
   /// Retired pages resolve remotely forever (recovery tier 2). The flag

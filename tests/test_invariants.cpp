@@ -288,12 +288,14 @@ struct ObservedRun {
   std::string metrics_json;
 };
 
-ObservedRun observe(const FuzzCase& c, unsigned shards, AdvanceMode mode) {
+ObservedRun observe(const FuzzCase& c, unsigned shards, AdvanceMode mode,
+                    ShardGateMode gate = ShardGateMode::kForced) {
   SystemConfig cfg = c.config;
   cfg.obs.trace = true;
   cfg.obs.metrics = true;
   cfg.engine.shards = shards;
   cfg.engine.mode = mode;
+  cfg.engine.shard_gate = gate;
   System system(cfg);
   ObservedRun run;
   run.result = system.run(c.spec);
@@ -380,6 +382,41 @@ TEST(ShardDeterminism, FatalRunsAreByteIdenticalAcrossShardsAndModes) {
     const ObservedRun stepped = observe(c, 1, AdvanceMode::kTimeStepped);
     expect_identical(stepped, base,
                      "seed " + std::to_string(seed) + " stepped");
+  }
+}
+
+TEST(ShardDeterminism, GateModesAndEnginesAreByteIdenticalAcrossTheMatrix) {
+  // The adaptive fan-out gate changes only WHERE work runs (inline vs
+  // worker lanes), never what it computes — so the full configuration
+  // matrix {1,2,4,8} shards × {auto,forced} gate × both engine modes
+  // must reproduce one reference run byte for byte. Seeds alternate
+  // plain and fatal-injected cases so the gate is exercised both on the
+  // hot servicing path and through recovery resets.
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const FuzzCase c = seed % 2 == 0 ? make_fuzz_case(seed)
+                                     : testutil::make_fatal_fuzz_case(seed);
+    const ObservedRun base =
+        observe(c, 1, AdvanceMode::kEventDriven, ShardGateMode::kForced);
+    ASSERT_GT(base.result.total_faults, 0u) << "seed " << seed;
+    for (const unsigned shards : {1u, 2u, 4u, 8u}) {
+      for (const ShardGateMode gate :
+           {ShardGateMode::kForced, ShardGateMode::kAuto}) {
+        for (const AdvanceMode mode :
+             {AdvanceMode::kEventDriven, AdvanceMode::kTimeStepped}) {
+          if (shards == 1 && gate == ShardGateMode::kForced &&
+              mode == AdvanceMode::kEventDriven) {
+            continue;  // the reference cell itself
+          }
+          const ObservedRun run = observe(c, shards, mode, gate);
+          expect_identical(
+              run, base,
+              "seed " + std::to_string(seed) + " shards " +
+                  std::to_string(shards) + " gate " +
+                  (gate == ShardGateMode::kAuto ? "auto" : "forced") +
+                  (mode == AdvanceMode::kTimeStepped ? " stepped" : " event"));
+        }
+      }
+    }
   }
 }
 

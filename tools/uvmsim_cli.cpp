@@ -8,12 +8,14 @@
 //   uvmsim_cli trace --workload vecadd-paged --gpu-mb 256 --out trace.json
 //   uvmsim_cli analyze out.batchlog --phases
 //   uvmsim_cli list
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/log_io.hpp"
 #include "analysis/parallelism.hpp"
@@ -121,9 +123,10 @@ int cmd_list() {
               "JSON); `trace` subcommand = run + --trace, --out FILE\n");
   std::printf("driver parallelism (paper §6): --service-policy "
               "serial|vablock|sm --service-workers K\n");
-  std::printf("event engine: --shards N (host lanes; byte-identical for "
-              "every N) --engine event|stepped --step-quantum-ns N "
-              "--engine-stats\n");
+  std::printf("event engine: --shards N|auto (host lanes; byte-identical "
+              "for every N) --shard-gate auto|forced --engine event|stepped "
+              "--step-quantum-ns N --engine-stats (prints engine+shard "
+              "stats and records shard.* counters into --metrics/--trace)\n");
   std::printf("fault injection: --inject --inject-seed N "
               "--inject-transfer-err P --inject-dma-err P "
               "--inject-irq-delay-prob P --inject-irq-delay-ns N "
@@ -151,7 +154,7 @@ int cmd_list() {
   std::printf("analyze: --phases (per-phase distribution) --json "
               "(machine-readable summary incl. counter_stats and "
               "recovery_stats; tenant logs yield tenant_stats with "
-              "Jain's index)\n");
+              "Jain's index; metrics snapshots yield shard_stats)\n");
   return 0;
 }
 
@@ -331,9 +334,25 @@ int cmd_run(const Args& args) {
   cfg.seed = args.get_u64("seed", cfg.seed);
 
   // Event engine: --shards N host lanes (results are byte-identical for
-  // every N); --engine stepped selects the time-stepped reference mode.
-  cfg.engine.shards =
-      static_cast<unsigned>(args.get_u64("shards", cfg.engine.shards));
+  // every N), or --shards auto to size lanes from the host's core count;
+  // --shard-gate auto|forced picks between adaptive and unconditional
+  // fan-out (host-time-only difference); --engine stepped selects the
+  // time-stepped reference mode.
+  if (const std::string shards = args.get("shards", "");
+      shards == "auto") {
+    cfg.engine.shards = EngineConfig::kAutoShards;
+  } else {
+    cfg.engine.shards =
+        static_cast<unsigned>(args.get_u64("shards", cfg.engine.shards));
+  }
+  if (const std::string gate = args.get("shard-gate", "auto");
+      gate == "forced") {
+    cfg.engine.shard_gate = ShardGateMode::kForced;
+  } else if (gate != "auto") {
+    std::fprintf(stderr, "unknown --shard-gate '%s' (auto|forced)\n",
+                 gate.c_str());
+    return 2;
+  }
   if (const std::string engine = args.get("engine", "event");
       engine == "stepped") {
     cfg.engine.mode = AdvanceMode::kTimeStepped;
@@ -353,6 +372,11 @@ int cmd_run(const Args& args) {
   const std::string metrics_path = metrics_arg == "1" ? "" : metrics_arg;
   cfg.obs.trace = !trace_arg.empty();
   cfg.obs.metrics = !metrics_arg.empty();
+  // --engine-stats also folds host shard-executor stats into whichever
+  // sinks are on: shard.* counters in the metrics snapshot (feed to
+  // `analyze --json` for shard_stats) and per-lane Gantt tracks in the
+  // trace. Host wall-clock values — excluded from determinism checks.
+  cfg.obs.record_shard_stats = args.flag("engine-stats");
 
   if (args.flag("inject")) {
     auto& inj = cfg.driver.inject;
@@ -520,6 +544,24 @@ int cmd_run(const Args& args) {
                 es.idle_ns_skipped / 1e6,
                 static_cast<unsigned long long>(es.quantum_steps),
                 es.max_queue_depth);
+    if (const ShardExecutor* ex = system.shard_executor()) {
+      std::string busy;
+      for (unsigned s = 0; s < ex->shards(); ++s) {
+        if (s) busy += ',';
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      static_cast<double>(ex->worker_busy_ns(s)) / 1e3);
+        busy += buf;
+      }
+      std::printf("shards: gate=%s dispatches=%llu inline_runs=%llu "
+                  "tasks=%llu barrier_wait_us=%.1f busy_us=[%s]\n",
+                  ex->gate_mode() == ShardGateMode::kAuto ? "auto" : "forced",
+                  static_cast<unsigned long long>(ex->dispatches()),
+                  static_cast<unsigned long long>(ex->inline_runs()),
+                  static_cast<unsigned long long>(ex->tasks()),
+                  static_cast<double>(ex->barrier_wait_ns()) / 1e3,
+                  busy.c_str());
+    }
   }
   if (cfg.driver.access_counters.enabled) {
     std::printf("counters: notif=%llu serviced=%llu dropped=%llu lost=%llu "
@@ -617,19 +659,115 @@ int analyze_tenant_log(std::ifstream& in, const std::string& path,
   return 0;
 }
 
+/// Analyze a metrics-registry snapshot (the `--metrics FILE` JSON, which
+/// opens `{\n"counters": {`): extract the shard.* executor counters
+/// recorded under --engine-stats into a shard_stats view.
+int analyze_metrics_json(std::ifstream& in, const std::string& path,
+                         const Args& args) {
+  // The snapshot's counters block is one `  "name": value,` line per
+  // counter (log_io.cpp writes it; names are JSON-escaped but shard.*
+  // names contain nothing to escape). Scan it without a JSON parser.
+  std::map<std::string, std::uint64_t> shard_counters;
+  std::string line;
+  bool in_counters = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("\"counters\"", 0) == 0) {
+      in_counters = true;
+      continue;
+    }
+    if (!in_counters) continue;
+    const std::size_t open = line.find('"');
+    if (open == std::string::npos) break;  // "}," closes the block
+    const std::size_t close = line.find('"', open + 1);
+    const std::size_t colon = line.find(':', close);
+    if (close == std::string::npos || colon == std::string::npos) break;
+    const std::string name = line.substr(open + 1, close - open - 1);
+    if (name.rfind("shard.", 0) != 0) continue;
+    try {
+      shard_counters[name] = std::stoull(line.substr(colon + 1));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "malformed counter line in %s: %s\n", path.c_str(),
+                   line.c_str());
+      return 2;
+    }
+  }
+  if (shard_counters.empty()) {
+    std::fprintf(stderr,
+                 "no shard.* counters in %s (record them with "
+                 "`run --shards N --engine-stats --metrics FILE`)\n",
+                 path.c_str());
+    return 2;
+  }
+
+  std::vector<std::uint64_t> busy;
+  for (unsigned s = 0;; ++s) {
+    const auto it =
+        shard_counters.find("shard.worker." + std::to_string(s) + ".busy_ns");
+    if (it == shard_counters.end()) break;
+    busy.push_back(it->second);
+  }
+  const auto counter = [&](const char* name) {
+    const auto it = shard_counters.find(name);
+    return it == shard_counters.end() ? 0ULL : it->second;
+  };
+
+  if (args.flag("json")) {
+    std::printf("{\"shard_stats\": {\"dispatches\": %llu, "
+                "\"inline_runs\": %llu, \"tasks\": %llu, "
+                "\"barrier_wait_ns\": %llu, \"worker_busy_ns\": [",
+                static_cast<unsigned long long>(counter("shard.dispatches")),
+                static_cast<unsigned long long>(counter("shard.inline_runs")),
+                static_cast<unsigned long long>(counter("shard.tasks")),
+                static_cast<unsigned long long>(
+                    counter("shard.barrier_wait_ns")));
+    for (std::size_t s = 0; s < busy.size(); ++s) {
+      std::printf("%s%llu", s ? ", " : "",
+                  static_cast<unsigned long long>(busy[s]));
+    }
+    std::printf("]}}\n");
+    return 0;
+  }
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"fan-out dispatches",
+                 std::to_string(counter("shard.dispatches"))});
+  table.add_row({"gated inline runs",
+                 std::to_string(counter("shard.inline_runs"))});
+  table.add_row({"tasks executed", std::to_string(counter("shard.tasks"))});
+  table.add_row({"barrier wait (us)",
+                 fmt(static_cast<double>(counter("shard.barrier_wait_ns")) /
+                         1e3, 1)});
+  for (std::size_t s = 0; s < busy.size(); ++s) {
+    table.add_row({"worker " + std::to_string(s) + " busy (us)",
+                   fmt(static_cast<double>(busy[s]) / 1e3, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 int cmd_analyze(const std::string& path, const Args& args) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 2;
   }
-  // Sniff the first line: tenant logs carry a version header, batch logs
+  // Sniff the first line: tenant logs carry a version header, metrics
+  // snapshots open a JSON object with a "counters" block, batch logs
   // start straight with "batch ..." records.
   {
     std::string first_line;
     if (std::getline(in, first_line) && is_tenant_log_header(first_line)) {
       in.seekg(0);
       return analyze_tenant_log(in, path, args);
+    }
+    if (first_line == "{") {
+      std::string second_line;
+      if (std::getline(in, second_line) &&
+          second_line.rfind("\"counters\"", 0) == 0) {
+        in.clear();
+        in.seekg(0);
+        return analyze_metrics_json(in, path, args);
+      }
     }
     in.clear();
     in.seekg(0);
