@@ -123,6 +123,10 @@ std::string serialize_batch(const BatchRecord& record) {
   append_u64_nonzero(out, "ctrpromoted", c.ctr_pages_promoted);
   append_u64_nonzero(out, "ctrunpin", c.ctr_unpins);
   append_u64_nonzero(out, "ctrevict", c.ctr_evictions);
+  append_u64_nonzero(out, "peermigrated", c.peer_pages_migrated);
+  append_u64_nonzero(out, "peerbytes", c.bytes_peer);
+  append_u64_nonzero(out, "peermaps", c.peer_maps);
+  append_u64_nonzero(out, "peerplace", c.peer_placements);
 
   append_list(out, "sm", record.faults_per_sm,
               [](std::uint16_t v) { return std::to_string(v); });
@@ -255,6 +259,10 @@ bool parse_batch(const std::string& line, BatchRecord& record) {
       else if (key == "ctrpromoted") c.ctr_pages_promoted = static_cast<std::uint32_t>(u);
       else if (key == "ctrunpin") c.ctr_unpins = static_cast<std::uint32_t>(u);
       else if (key == "ctrevict") c.ctr_evictions = static_cast<std::uint32_t>(u);
+      else if (key == "peermigrated") c.peer_pages_migrated = static_cast<std::uint32_t>(u);
+      else if (key == "peerbytes") c.bytes_peer = u;
+      else if (key == "peermaps") c.peer_maps = static_cast<std::uint32_t>(u);
+      else if (key == "peerplace") c.peer_placements = static_cast<std::uint32_t>(u);
       // Unknown numeric keys are tolerated for forward compatibility.
     } else {
       return false;

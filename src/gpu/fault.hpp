@@ -13,6 +13,7 @@ struct FaultRecord {
   std::uint32_t sm = 0;      // originating SM (paper Table 2 statistics)
   std::uint32_t utlb = 0;    // originating µTLB (duplicate classification)
   std::uint32_t block = 0;   // thread-block id, for trace analysis
+  std::uint32_t gpu = 0;     // originating GPU (multi-GPU runs; 0 otherwise)
   SimTime timestamp = 0;     // arrival time at the fault buffer (Fig 4)
   bool is_duplicate_emission = false;  // hardware-side duplicate/spurious
 };

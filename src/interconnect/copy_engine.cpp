@@ -20,6 +20,21 @@ void CopyEngine::account(CopyDirection direction,
   }
 }
 
+void CopyEngine::account_between(NodeId from, NodeId to,
+                                 std::uint64_t bytes) noexcept {
+  topo_->record(from, to, bytes);
+  if (from == kHostNode) {
+    to_device_ += bytes;
+    if (obs_.metrics) obs_.metrics->add("copy.bytes_h2d", bytes);
+  } else if (to == kHostNode) {
+    to_host_ += bytes;
+    if (obs_.metrics) obs_.metrics->add("copy.bytes_d2h", bytes);
+  } else {
+    peer_ += bytes;
+    if (obs_.metrics) obs_.metrics->add("copy.bytes_peer", bytes);
+  }
+}
+
 CopyEngine::CopyResult CopyEngine::copy_pages(std::vector<PageId> pages,
                                               CopyDirection direction) {
   CopyResult out;
@@ -59,6 +74,54 @@ CopyEngine::CopyResult CopyEngine::copy_range(PageId /*first*/,
     obs_.metrics->add("copy.dma_ops", 1);
   }
   return out;
+}
+
+CopyEngine::CopyResult CopyEngine::copy_pages_between(
+    std::vector<PageId> pages, NodeId from, NodeId to) {
+  CopyResult out;
+  if (pages.empty() || from == to) return out;
+  std::sort(pages.begin(), pages.end());
+  pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= pages.size(); ++i) {
+    const bool run_breaks =
+        i == pages.size() || pages[i] != pages[i - 1] + 1;
+    if (!run_breaks) continue;
+    const std::uint64_t run_pages = i - run_start;
+    const std::uint64_t bytes = run_pages * kPageSize;
+    out.time_ns += topo_->transfer_time(from, to, bytes);
+    out.bytes += bytes;
+    ++out.dma_ops;
+    if (obs_.metrics) obs_.metrics->observe("copy.run_pages", run_pages);
+    run_start = i;
+  }
+  account_between(from, to, out.bytes);
+  if (obs_.metrics) obs_.metrics->add("copy.dma_ops", out.dma_ops);
+  return out;
+}
+
+CopyEngine::CopyResult CopyEngine::copy_range_between(PageId /*first*/,
+                                                      std::uint64_t count,
+                                                      NodeId from,
+                                                      NodeId to) {
+  CopyResult out;
+  if (count == 0 || from == to) return out;
+  out.bytes = count * kPageSize;
+  out.time_ns = topo_->transfer_time(from, to, out.bytes);
+  out.dma_ops = 1;
+  account_between(from, to, out.bytes);
+  if (obs_.metrics) {
+    obs_.metrics->observe("copy.run_pages", count);
+    obs_.metrics->add("copy.dma_ops", 1);
+  }
+  return out;
+}
+
+SimTime CopyEngine::schedule_transfer(NodeId from, NodeId to,
+                                      std::uint64_t bytes,
+                                      SimTime earliest_start) {
+  return topo_->reserve(from, to, bytes, earliest_start).finish;
 }
 
 }  // namespace uvmsim

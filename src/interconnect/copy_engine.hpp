@@ -4,6 +4,12 @@
 // pages with hardware copy engines. Contiguous page runs coalesce into a
 // single DMA operation — this is why fault batches that migrate dense
 // ranges are so much cheaper per byte than scattered ones.
+//
+// With an attached Topology the engine also exposes endpoint-addressed
+// copies (`*_between`): the transfer routes over the min-cost path and
+// every link on the route is accounted per hop. The legacy single-link
+// API stays untouched — it is the byte-exact path every single-GPU
+// golden fixture runs through.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +17,7 @@
 
 #include "common/types.hpp"
 #include "interconnect/pcie.hpp"
+#include "interconnect/topology.hpp"
 #include "obs/obs.hpp"
 
 namespace uvmsim {
@@ -37,8 +44,29 @@ class CopyEngine {
   CopyResult copy_range(PageId first, std::uint64_t count,
                         CopyDirection direction);
 
+  /// Attach the interconnect topology, enabling the endpoint-addressed
+  /// copies below. May be null (single-link legacy mode); not owned.
+  void set_topology(Topology* topo) noexcept { topo_ = topo; }
+  const Topology* topology() const noexcept { return topo_; }
+
+  /// Endpoint-addressed forms: same coalescing, but timing and per-link
+  /// accounting follow the topology route from `from` to `to` (host,
+  /// peer GPU, ...). Requires set_topology.
+  CopyResult copy_pages_between(std::vector<PageId> pages, NodeId from,
+                                NodeId to);
+  CopyResult copy_range_between(PageId first, std::uint64_t count,
+                                NodeId from, NodeId to);
+
+  /// Schedule one transfer as an occupancy reservation on the route's
+  /// links (overlaps with in-flight transfers on disjoint links,
+  /// serializes behind transfers sharing a link). Returns the completion
+  /// time. Requires set_topology.
+  SimTime schedule_transfer(NodeId from, NodeId to, std::uint64_t bytes,
+                            SimTime earliest_start);
+
   std::uint64_t bytes_to_device() const noexcept { return to_device_; }
   std::uint64_t bytes_to_host() const noexcept { return to_host_; }
+  std::uint64_t bytes_peer() const noexcept { return peer_; }
 
   /// Attach observability sinks (copy ops/bytes counters, DMA-run-length
   /// histogram). Null members = no recording.
@@ -46,11 +74,14 @@ class CopyEngine {
 
  private:
   void account(CopyDirection direction, std::uint64_t bytes) noexcept;
+  void account_between(NodeId from, NodeId to, std::uint64_t bytes) noexcept;
 
   PcieLink& link_;
+  Topology* topo_ = nullptr;  // not owned; null = single-link legacy mode
   Obs obs_;
   std::uint64_t to_device_ = 0;
   std::uint64_t to_host_ = 0;
+  std::uint64_t peer_ = 0;  // GPU<->GPU bytes (never through account())
 };
 
 }  // namespace uvmsim

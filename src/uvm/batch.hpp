@@ -94,6 +94,13 @@ struct BatchCounters {
   std::uint32_t ctr_unpins = 0;         // thrash pins lifted by promotion
   std::uint32_t ctr_evictions = 0;      // victims evicted to make room for
                                         // counter-driven promotions
+
+  // ---- Multi-GPU placement (all zero with num_gpus = 1) ------------------
+  std::uint32_t peer_pages_migrated = 0;  // GPU -> GPU page copies
+  std::uint64_t bytes_peer = 0;           // bytes moved GPU <-> GPU
+  std::uint32_t peer_maps = 0;            // remote NVLink mappings created
+  std::uint32_t peer_placements = 0;      // blocks placed in peer HBM under
+                                          // local oversubscription
 };
 
 struct BatchRecord {

@@ -1,5 +1,6 @@
 #include "uvm/counter_servicer.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -17,18 +18,20 @@ CounterServicer::CounterServicer(const DriverConfig& config, VaSpace& space,
       thrash_(thrash),
       obs_(obs) {}
 
-void CounterServicer::evict_one(VaBlockId protect, BatchRecord& record) {
+void CounterServicer::evict_one(std::uint32_t gpu, VaBlockId protect,
+                                BatchRecord& record) {
   const SimTime evict_t0 = record.start_ns + record.phases.sum();
   record.phases.counter_ns += config_.evict_fail_alloc_ns;
 
+  Evictor& evictor = evictor_of(gpu);
   const bool shields = thrash_ && thrash_->enabled();
   const SimTime now = record.start_ns + record.phases.sum();
   const auto victim =
-      shields ? evictor_.pick_victim(protect,
-                                     [&](VaBlockId b) {
-                                       return !thrash_->is_shielded(b, now);
-                                     })
-              : evictor_.pick_victim(protect);
+      shields ? evictor.pick_victim(protect,
+                                    [&](VaBlockId b) {
+                                      return !thrash_->is_shielded(b, now);
+                                    })
+              : evictor.pick_victim(protect);
   if (!victim) {
     throw std::runtime_error(
         "uvmsim: GPU memory exhausted with no evictable VABlock");
@@ -37,15 +40,19 @@ void CounterServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   VaBlockState& v = space_.block(*victim);
   const std::uint32_t resident = v.gpu_resident_count();
   if (resident > 0) {
-    const auto xfer = copy_.copy_range(first_page_of(*victim), resident,
-                                       CopyDirection::kDeviceToHost);
+    const auto xfer =
+        multi_gpu()
+            ? copy_.copy_range_between(first_page_of(*victim), resident,
+                                       gpu_node(gpu), kHostNode)
+            : copy_.copy_range(first_page_of(*victim), resident,
+                               CopyDirection::kDeviceToHost);
     record.phases.counter_ns += xfer.time_ns;
     record.counters.bytes_d2h += xfer.bytes;
   }
   const auto chunk = v.chunk();
   v.evict_to_host();
-  if (chunk) memory_.free_chunk(*chunk);
-  evictor_.remove(*victim);
+  if (chunk) memory_of(gpu).free_chunk(*chunk);
+  evictor.remove(*victim);
   if (thrash_) {
     thrash_->record_eviction(*victim, record.start_ns + record.phases.sum());
   }
@@ -63,19 +70,102 @@ void CounterServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   }
 }
 
-bool CounterServicer::ensure_chunk(VaBlockId id, VaBlockState& block,
-                                   BatchRecord& record) {
+bool CounterServicer::ensure_chunk(std::uint32_t gpu, VaBlockId id,
+                                   VaBlockState& block, BatchRecord& record) {
   if (block.has_chunk()) return false;
   for (;;) {
-    if (const auto chunk = memory_.alloc_chunk(); chunk) {
+    if (const auto chunk = memory_of(gpu).alloc_chunk(); chunk) {
       block.set_chunk(*chunk);
+      if (multi_gpu()) block.set_owner_gpu(gpu);
       return true;
     }
     if (!config_.eviction_enabled) {
       throw std::runtime_error(
           "uvmsim: GPU memory oversubscribed with eviction disabled");
     }
-    evict_one(id, record);
+    evict_one(gpu, id, record);
+  }
+}
+
+std::uint32_t CounterServicer::pick_target_gpu(const VaBlockState& block) {
+  if (!multi_gpu()) return 0;
+  const std::uint32_t last = block.last_gpu();
+  if (!memory_of(last).full()) return last;
+  // The hot GPU's HBM is full: the next-best placement is the cheapest
+  // peer (by fabric path cost from the accessor) with a free chunk.
+  for (const std::uint32_t p : topo_->peers_by_cost(last)) {
+    if (!memory_of(p).full()) return p;
+  }
+  return last;  // everything full; eviction policy decides below
+}
+
+void CounterServicer::promote_peer_block(VaBlockId id, VaBlockState& block,
+                                         BatchRecord& record) {
+  // Target: the last remote accessor if it still holds a peer mapping,
+  // else the lowest-indexed mapped peer (deterministic either way).
+  const std::uint32_t owner = block.owner_gpu();
+  std::uint32_t target = owner;
+  if (block.peer_mapped(block.last_gpu()) && block.last_gpu() != owner) {
+    target = block.last_gpu();
+  } else {
+    for (std::uint32_t g = 0; g < config_.multi_gpu.num_gpus; ++g) {
+      if (g != owner && block.peer_mapped(g)) {
+        target = g;
+        break;
+      }
+    }
+  }
+  if (target == owner) return;
+  if (memory_of(target).full() &&
+      !(config_.access_counters.evict_for_promotion &&
+        config_.eviction_enabled)) {
+    return;  // opportunistic promotion only, same as the host path
+  }
+
+  const SimTime promote_t0 = record.start_ns + record.phases.sum();
+  std::vector<PageId> resident_pages;
+  const PageId base = first_page_of(id);
+  for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
+    if (block.gpu_resident()[i]) resident_pages.push_back(base + i);
+  }
+  const auto old_chunk = block.chunk();
+  std::optional<GpuMemory::ChunkId> dst;
+  for (;;) {
+    if ((dst = memory_of(target).alloc_chunk())) break;
+    if (!config_.eviction_enabled) {
+      throw std::runtime_error(
+          "uvmsim: GPU memory oversubscribed with eviction disabled");
+    }
+    evict_one(target, id, record);
+  }
+  if (!resident_pages.empty()) {
+    const auto xfer = copy_.copy_pages_between(resident_pages,
+                                               gpu_node(owner),
+                                               gpu_node(target));
+    record.phases.counter_ns += xfer.time_ns;
+    record.counters.bytes_peer += xfer.bytes;
+    record.counters.peer_pages_migrated +=
+        static_cast<std::uint32_t>(resident_pages.size());
+    record.counters.ctr_pages_promoted +=
+        static_cast<std::uint32_t>(resident_pages.size());
+    promoted_ += resident_pages.size();
+  }
+  if (old_chunk) memory_of(owner).free_chunk(*old_chunk);
+  evictor_of(owner).remove(id);
+  block.set_chunk(*dst);
+  block.set_owner_gpu(target);
+  block.clear_peer_maps();
+  record.phases.counter_ns +=
+      config_.per_page_pte_ns *
+      static_cast<SimTime>(resident_pages.size());
+  evictor_of(target).touch(id);
+  if (obs_.tracer) {
+    obs_.tracer->span(tracks::kCounters, "peer_promote", promote_t0,
+                      record.start_ns + record.phases.sum(),
+                      {{"block", id},
+                       {"from", owner},
+                       {"to", target},
+                       {"pages", resident_pages.size()}});
   }
 }
 
@@ -123,12 +213,23 @@ void CounterServicer::service(AccessCounterUnit& unit, BatchRecord& record) {
     }
     VaBlockState& block = space_.block(block_id);
 
+    // A hot peer-mapped block: the counters prove a peer GPU is paying
+    // per-access fabric latency on every touch. Migrate the block to the
+    // accessor instead of leaving the remote mapping in place forever.
+    if (multi_gpu() && block.has_chunk() && block.peer_map_mask() != 0) {
+      promote_peer_block(block_id, block, record);
+      continue;
+    }
+
+    // Promotion target: the best-placed GPU (single-GPU: always 0).
+    const std::uint32_t target = pick_target_gpu(block);
+
     // Opportunistic promotion: unless the config says otherwise, counter
     // migration never steals memory from the live working set. A region
     // whose block has no chunk while GPU memory is full stays remote —
     // re-armed by the clear above, pin intact — and retries on the next
     // threshold crossing.
-    if (!block.has_chunk() && memory_.full() &&
+    if (!block.has_chunk() && memory_of(target).full() &&
         !(cfg.evict_for_promotion && config_.eviction_enabled)) {
       continue;
     }
@@ -162,7 +263,7 @@ void CounterServicer::service(AccessCounterUnit& unit, BatchRecord& record) {
     const SimTime promote_t0 = record.start_ns + record.phases.sum();
     // GPU backing; eviction may run inside. A fresh chunk populates every
     // target page first (restart semantics, same as the fault path).
-    const bool fresh_chunk = ensure_chunk(block_id, block, record);
+    const bool fresh_chunk = ensure_chunk(target, block_id, block, record);
     if (fresh_chunk) {
       populate += static_cast<std::uint32_t>(migrate.size());
     }
@@ -170,7 +271,11 @@ void CounterServicer::service(AccessCounterUnit& unit, BatchRecord& record) {
     record.counters.pages_populated += populate;
 
     if (!migrate.empty()) {
-      const auto xfer = copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
+      const auto xfer =
+          multi_gpu()
+              ? copy_.copy_pages_between(migrate, kHostNode,
+                                         gpu_node(block.owner_gpu()))
+              : copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
       record.phases.counter_ns += xfer.time_ns;
       record.counters.bytes_h2d += xfer.bytes;
       record.counters.ctr_pages_promoted +=
@@ -185,7 +290,7 @@ void CounterServicer::service(AccessCounterUnit& unit, BatchRecord& record) {
       ++established;
     }
     record.phases.counter_ns += config_.per_page_pte_ns * established;
-    evictor_.touch(block_id);
+    evictor_of(block.owner_gpu()).touch(block_id);
     if (obs_.tracer) {
       obs_.tracer->span(tracks::kCounters, "promote", promote_t0,
                         record.start_ns + record.phases.sum(),

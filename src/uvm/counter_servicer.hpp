@@ -28,13 +28,17 @@
 
 #include <cstdint>
 
+#include <vector>
+
 #include "gpu/access_counters.hpp"
 #include "gpu/gpu_memory.hpp"
 #include "interconnect/copy_engine.hpp"
+#include "interconnect/topology.hpp"
 #include "obs/obs.hpp"
 #include "uvm/batch.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
+#include "uvm/gpu_ctx.hpp"
 #include "uvm/thrashing.hpp"
 #include "uvm/va_space.hpp"
 
@@ -52,16 +56,46 @@ class CounterServicer {
   /// record.phases.counter_ns / record.end_ns plus the ctr_* counters.
   void service(AccessCounterUnit& unit, BatchRecord& record);
 
+  /// Arm multi-GPU promotion: with the topology and per-GPU contexts set,
+  /// each promotion targets the best-placed GPU (the last GPU whose
+  /// faults the block serviced, falling back to the cheapest peer with
+  /// free HBM). Unset (the default) = single-GPU behavior, bit-identical.
+  void set_multi_gpu(const Topology* topo, std::vector<GpuMemCtx> ctx) {
+    topo_ = topo;
+    gpu_ctx_ = std::move(ctx);
+  }
+
   std::uint64_t total_pages_promoted() const noexcept { return promoted_; }
   std::uint64_t total_unpins() const noexcept { return unpins_; }
   std::uint64_t total_evictions() const noexcept { return evictions_; }
 
  private:
+  bool multi_gpu() const noexcept { return !gpu_ctx_.empty(); }
+  GpuMemory& memory_of(std::uint32_t gpu) {
+    return gpu_ctx_.empty() ? memory_ : *gpu_ctx_[gpu].memory;
+  }
+  Evictor& evictor_of(std::uint32_t gpu) {
+    return gpu_ctx_.empty() ? evictor_ : *gpu_ctx_[gpu].evictor;
+  }
+
+  /// Promotion target for `block`: its last serving GPU when that HBM has
+  /// room (or eviction is allowed), else the cheapest peer with a free
+  /// chunk. Single-GPU: always 0.
+  std::uint32_t pick_target_gpu(const VaBlockState& block);
+
   /// Evict one victim to make room for a promotion; mirrors the fault
   /// path's eviction (shield-aware victim pick, forced writeback, thrash
   /// bookkeeping) but charges counter_ns and ctr_evictions.
-  void evict_one(VaBlockId protect, BatchRecord& record);
-  bool ensure_chunk(VaBlockId id, VaBlockState& block, BatchRecord& record);
+  void evict_one(std::uint32_t gpu, VaBlockId protect, BatchRecord& record);
+  bool ensure_chunk(std::uint32_t gpu, VaBlockId id, VaBlockState& block,
+                    BatchRecord& record);
+
+  /// MIMC promotion of a peer-mapped resident block: the remote traffic is
+  /// a peer GPU hammering the owner's HBM over the fabric, so promotion
+  /// migrates the whole block (chunks are block-granular) to the accessor
+  /// and drops the remote mappings.
+  void promote_peer_block(VaBlockId id, VaBlockState& block,
+                          BatchRecord& record);
 
   const DriverConfig& config_;
   VaSpace& space_;
@@ -70,6 +104,8 @@ class CounterServicer {
   Evictor& evictor_;
   ThrashingDetector* thrash_;  // may be null (no detection)
   Obs obs_;                    // null members = no recording
+  const Topology* topo_ = nullptr;  // not owned; null = single-GPU
+  std::vector<GpuMemCtx> gpu_ctx_;  // empty = single-GPU legacy paths
   std::uint64_t promoted_ = 0;
   std::uint64_t unpins_ = 0;
   std::uint64_t evictions_ = 0;

@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "hostos/dma.hpp"
 #include "hostos/unmap.hpp"
+#include "interconnect/topology.hpp"
 #include "uvm/thrashing.hpp"
 
 namespace uvmsim {
@@ -140,6 +141,35 @@ struct AccessCounterConfig {
   SimTime clear_ns = 150;              // clear-on-service register write
 };
 
+/// Multi-GPU page placement under per-GPU oversubscription: what the
+/// servicer does when the faulting GPU's memory is full, or when the
+/// faulted block already lives in a peer GPU's HBM.
+enum class PlacementPolicy : std::uint8_t {
+  kPeerFirst,  // place/keep pages in the cheapest peer HBM over NVLink
+               // (remote-map or migrate by fault pressure); evict to
+               // host only when no peer has room
+  kEvictHost,  // ablation baseline: ignore peer HBM, always evict to
+               // host — every placement decision the single-GPU driver
+               // would make
+};
+
+/// Multi-GPU topology + placement knobs (interconnect/topology.hpp).
+/// Default num_gpus = 1 is the stock single-GPU driver: no peer state is
+/// ever consulted and behavior stays bit-identical to prior fixtures.
+struct MultiGpuConfig {
+  std::uint32_t num_gpus = 1;
+  TopologyKind topology = TopologyKind::kPcieOnly;
+  NvlinkConfig nvlink{};
+  PlacementPolicy placement = PlacementPolicy::kPeerFirst;
+
+  // A peer-owned block with at least this many faulted pages in the batch
+  // migrates to the faulting GPU; below it the block stays put and the
+  // faulting GPU gets a remote NVLink mapping (cheap PTEs, no copy).
+  std::uint32_t peer_migrate_threshold = 8;
+
+  bool active() const noexcept { return num_gpus > 1; }
+};
+
 struct DriverConfig {
   // ---- Policies -------------------------------------------------------
   std::uint32_t batch_size = 256;     // default UVM_PERF_FAULT_BATCH_COUNT
@@ -200,6 +230,9 @@ struct DriverConfig {
   // Access-counter notification path + counter-driven migration (the
   // second GMMU notification channel; off = fault-only stock driver).
   AccessCounterConfig access_counters{};
+  // Interconnect topology + multi-GPU peer placement (num_gpus = 1 =
+  // stock single-GPU driver over one PCIe link).
+  MultiGpuConfig multi_gpu{};
 
   // ---- Host OS components ---------------------------------------------
   UnmapCostModel unmap{};

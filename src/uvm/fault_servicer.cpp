@@ -62,18 +62,20 @@ bool FaultServicer::attempt_with_retries(RetrySite site, BatchRecord& record) {
   return false;  // retry budget exhausted
 }
 
-void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
+void FaultServicer::evict_one(std::uint32_t gpu, VaBlockId protect,
+                              BatchRecord& record) {
   const SimTime evict_t0 = record.start_ns + record.phases.sum();
   record.phases.eviction_ns += config_.evict_fail_alloc_ns;
 
+  Evictor& evictor = evictor_of(gpu);
   const bool shields = thrash_ && thrash_->enabled();
   const SimTime now = record.start_ns + record.phases.sum();
   const auto victim =
-      shields ? evictor_.pick_victim(protect,
-                                     [&](VaBlockId b) {
-                                       return !thrash_->is_shielded(b, now);
-                                     })
-              : evictor_.pick_victim(protect);
+      shields ? evictor.pick_victim(protect,
+                                    [&](VaBlockId b) {
+                                      return !thrash_->is_shielded(b, now);
+                                    })
+              : evictor.pick_victim(protect);
   if (!victim) {
     throw std::runtime_error(
         "uvmsim: GPU memory exhausted with no evictable VABlock");
@@ -93,15 +95,19 @@ void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
         injector_->ce_permanent_failure()) {
       recovery_->channel_reset(record);
     }
-    const auto xfer = copy_.copy_range(first_page_of(*victim), resident,
-                                       CopyDirection::kDeviceToHost);
+    const auto xfer =
+        multi_gpu()
+            ? copy_.copy_range_between(first_page_of(*victim), resident,
+                                       gpu_node(gpu), kHostNode)
+            : copy_.copy_range(first_page_of(*victim), resident,
+                               CopyDirection::kDeviceToHost);
     record.phases.eviction_ns += xfer.time_ns;
     record.counters.bytes_d2h += xfer.bytes;
   }
   const auto chunk = v.chunk();
   v.evict_to_host();  // also drops the block's chunk reference
-  if (chunk) memory_.free_chunk(*chunk);
-  evictor_.remove(*victim);
+  if (chunk) memory_of(gpu).free_chunk(*chunk);
+  evictor.remove(*victim);
   if (thrash_) {
     thrash_->record_eviction(*victim, record.start_ns + record.phases.sum());
   }
@@ -119,9 +125,53 @@ void FaultServicer::evict_one(VaBlockId protect, BatchRecord& record) {
   }
 }
 
-bool FaultServicer::ensure_chunk(VaBlockId id, VaBlockState& block,
-                                 BatchRecord& record) {
+bool FaultServicer::ensure_chunk(std::uint32_t gpu, VaBlockId id,
+                                 VaBlockState& block, BatchRecord& record,
+                                 std::uint32_t target_pages) {
   if (block.has_chunk()) return false;
+  if (multi_gpu()) {
+    if (const auto chunk = memory_of(gpu).alloc_chunk(); chunk) {
+      block.set_chunk(*chunk);
+      block.set_owner_gpu(gpu);
+      return true;
+    }
+    // Local HBM is full. kPeerFirst: before paying an eviction, a SPARSE
+    // batch places the block in the cheapest NVLink-reachable peer with a
+    // free chunk — the faulting GPU gets a remote mapping into it after
+    // the copy lands. Dense batches stay local: bulk data behind remote
+    // PTEs would pay a fabric crossing on every access.
+    if (config_.multi_gpu.placement == PlacementPolicy::kPeerFirst &&
+        target_pages < config_.multi_gpu.peer_migrate_threshold) {
+      for (const std::uint32_t p : topo_->peers_by_cost(gpu)) {
+        if (!topo_->nvlink_path(gpu, p)) continue;
+        if (const auto chunk = memory_of(p).alloc_chunk(); chunk) {
+          block.set_chunk(*chunk);
+          block.set_owner_gpu(p);
+          block.add_peer_map(gpu);
+          // Everything this block ever holds is remote for the faulting
+          // GPU; sustained traffic promotes it home via the counters.
+          block.add_peer_pages(VaBlockState::PageMask{}.set());
+          ++record.counters.peer_placements;
+          ++record.counters.peer_maps;
+          // Remote PTEs for the faulting GPU over the fabric.
+          record.phases.pagetable_ns += config_.per_page_pte_ns;
+          return true;
+        }
+      }
+    }
+    for (;;) {
+      if (const auto chunk = memory_of(gpu).alloc_chunk(); chunk) {
+        block.set_chunk(*chunk);
+        block.set_owner_gpu(gpu);
+        return true;
+      }
+      if (!config_.eviction_enabled) {
+        throw std::runtime_error(
+            "uvmsim: GPU memory oversubscribed with eviction disabled");
+      }
+      evict_one(gpu, id, record);
+    }
+  }
   for (;;) {
     if (const auto chunk = memory_.alloc_chunk(); chunk) {
       block.set_chunk(*chunk);
@@ -131,7 +181,7 @@ bool FaultServicer::ensure_chunk(VaBlockId id, VaBlockState& block,
       throw std::runtime_error(
           "uvmsim: GPU memory oversubscribed with eviction disabled");
     }
-    evict_one(id, record);
+    evict_one(0, id, record);
   }
 }
 
@@ -143,17 +193,22 @@ void FaultServicer::pin_block(VaBlockId id, VaBlockState& block, SimTime now,
   // writeback but not counted as one — the whole point of the pin is to
   // stop the eviction churn.
   if (block.has_chunk()) {
+    const std::uint32_t owner = block.owner_gpu();
     const std::uint32_t resident = block.gpu_resident_count();
     if (resident > 0) {
-      const auto xfer = copy_.copy_range(first_page_of(id), resident,
-                                         CopyDirection::kDeviceToHost);
+      const auto xfer =
+          multi_gpu()
+              ? copy_.copy_range_between(first_page_of(id), resident,
+                                         gpu_node(owner), kHostNode)
+              : copy_.copy_range(first_page_of(id), resident,
+                                 CopyDirection::kDeviceToHost);
       record.phases.eviction_ns += xfer.time_ns;
       record.counters.bytes_d2h += xfer.bytes;
     }
     const auto chunk = block.chunk();
     block.evict_to_host();
-    if (chunk) memory_.free_chunk(*chunk);
-    evictor_.remove(id);
+    if (chunk) memory_of(owner).free_chunk(*chunk);
+    evictor_of(owner).remove(id);
   }
   thrash_->pin(id, now + config_.thrash.pin_lapse_ns);
   ++record.counters.thrash_pins;
@@ -161,6 +216,86 @@ void FaultServicer::pin_block(VaBlockId id, VaBlockState& block, SimTime now,
     obs_.tracer->span(tracks::kDriver, "thrash_pin", pin_t0,
                       record.start_ns + record.phases.sum(), {{"block", id}});
   }
+}
+
+bool FaultServicer::service_peer_block(std::uint32_t gpu, VaBlockId id,
+                                       VaBlockState& block,
+                                       const VaBlockState::PageMask& faulted,
+                                       BatchRecord& record) {
+  const std::uint32_t faulted_pages =
+      static_cast<std::uint32_t>(faulted.count());
+  const bool all_faulted_resident = (faulted & ~block.gpu_resident()).none();
+  const std::uint32_t owner = block.owner_gpu();
+  const bool nvlink = topo_->nvlink_path(gpu, owner);
+  if (config_.multi_gpu.placement == PlacementPolicy::kEvictHost) {
+    // The no-P2P baseline: the owner's copy is evicted to sysmem and the
+    // faulting GPU re-populates it over its own host link like any other
+    // host-resident fault — the handoff pays two host hops plus the
+    // refault, which is exactly what NVLink peer migration saves.
+    const std::uint32_t resident = block.gpu_resident_count();
+    if (resident > 0) {
+      const auto xfer = copy_.copy_range_between(first_page_of(id), resident,
+                                                 gpu_node(owner), kHostNode);
+      record.phases.eviction_ns += xfer.time_ns;
+      record.counters.bytes_d2h += xfer.bytes;
+    }
+    const auto chunk = block.chunk();
+    block.evict_to_host();
+    if (chunk) memory_of(owner).free_chunk(*chunk);
+    evictor_of(owner).remove(id);
+    record.phases.eviction_ns += config_.evict_restart_ns;
+    ++record.counters.evictions;
+    ++total_evictions_;
+    return false;
+  }
+  if (config_.multi_gpu.placement == PlacementPolicy::kPeerFirst && nvlink &&
+      all_faulted_resident &&
+      faulted_pages < config_.multi_gpu.peer_migrate_threshold) {
+    // Remote map over NVLink: fabric PTEs for exactly the faulted pages,
+    // no data movement. Unmapped pages of the block still fault, so a
+    // dense accessor keeps building pressure toward the migrate branch;
+    // sustained remote traffic feeds the access-counter promotion path.
+    block.add_peer_map(gpu);
+    block.add_peer_pages(faulted);
+    record.phases.pagetable_ns += config_.per_page_pte_ns * faulted_pages;
+    ++record.counters.peer_maps;
+    evictor_of(owner).touch(id);
+    return true;
+  }
+
+  // Peer migrate: heavy fault pressure (or no NVLink path worth mapping
+  // over) moves the block's resident pages owner -> gpu across the fabric
+  // and ownership follows the faulting GPU. Non-resident target pages are
+  // established by the normal service path afterwards.
+  std::vector<PageId> resident_pages;
+  const PageId base = first_page_of(id);
+  for (std::uint32_t i = 0; i < kPagesPerVaBlock; ++i) {
+    if (block.gpu_resident()[i]) resident_pages.push_back(base + i);
+  }
+  const auto old_chunk = block.chunk();
+  std::optional<GpuMemory::ChunkId> dst;
+  for (;;) {
+    if ((dst = memory_of(gpu).alloc_chunk())) break;
+    if (!config_.eviction_enabled) {
+      throw std::runtime_error(
+          "uvmsim: GPU memory oversubscribed with eviction disabled");
+    }
+    evict_one(gpu, id, record);
+  }
+  if (!resident_pages.empty()) {
+    const auto xfer = copy_.copy_pages_between(
+        resident_pages, gpu_node(owner), gpu_node(gpu));
+    record.phases.transfer_ns += xfer.time_ns;
+    record.counters.bytes_peer += xfer.bytes;
+    record.counters.peer_pages_migrated +=
+        static_cast<std::uint32_t>(resident_pages.size());
+  }
+  memory_of(owner).free_chunk(*old_chunk);
+  evictor_of(owner).remove(id);
+  block.set_chunk(*dst);
+  block.set_owner_gpu(gpu);
+  block.clear_peer_maps();
+  return false;
 }
 
 BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
@@ -383,6 +518,21 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       }
     }
 
+    // Multi-GPU placement: which GPU faulted this block (dedup keeps
+    // first arrival, so the choice is deterministic), and — when its
+    // chunk lives in a peer's HBM — remote-map vs. peer-migrate.
+    const std::uint32_t serving_gpu = multi_gpu() ? faults.front()->gpu : 0;
+    if (multi_gpu()) {
+      block.set_last_gpu(serving_gpu);
+      if (block.has_chunk() && block.owner_gpu() != serving_gpu) {
+        if (service_peer_block(serving_gpu, block_id, block, faulted,
+                               record)) {
+          finish_block();
+          continue;
+        }
+      }
+    }
+
     // Reactive density prefetch, VABlock-scoped (§5.2). The planned mask
     // is used only if the block's residency is unchanged since planning;
     // otherwise it is recomputed here — the same program point the serial
@@ -434,7 +584,9 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
     }
 
     // GPU backing; eviction may run inside.
-    const bool fresh_chunk = ensure_chunk(block_id, block, record);
+    const bool fresh_chunk =
+        ensure_chunk(serving_gpu, block_id, block, record,
+                     static_cast<std::uint32_t>(target.count()));
 
     if (!block.ever_on_gpu()) {
       ++record.counters.first_touch_vablocks;
@@ -522,7 +674,10 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
       if (transfer_ready) {
         const SimTime copy_t0 = start + record.phases.sum();
         const auto xfer =
-            copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
+            multi_gpu()
+                ? copy_.copy_pages_between(migrate, kHostNode,
+                                           gpu_node(block.owner_gpu()))
+                : copy_.copy_pages(migrate, CopyDirection::kHostToDevice);
         record.phases.transfer_ns += xfer.time_ns;
         record.counters.bytes_h2d += xfer.bytes;
         record.counters.pages_migrated +=
@@ -562,7 +717,7 @@ BatchRecord FaultServicer::service(const std::vector<FaultRecord>& raw,
                    {{"block", block_id}, {"pages", established}});
     }
 
-    evictor_.touch(block_id);
+    evictor_of(block.owner_gpu()).touch(block_id);
     finish_block();
   }
 

@@ -40,9 +40,11 @@
 #include "hostos/dma.hpp"
 #include "interconnect/copy_engine.hpp"
 #include "obs/obs.hpp"
+#include "interconnect/topology.hpp"
 #include "uvm/batch.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
+#include "uvm/gpu_ctx.hpp"
 #include "uvm/prefetcher.hpp"
 #include "uvm/recovery.hpp"
 #include "uvm/thrashing.hpp"
@@ -98,11 +100,36 @@ class FaultServicer {
     shard_exec_ = exec;
   }
 
+  /// Arm multi-GPU servicing: the interconnect topology plus one memory
+  /// context per GPU (index 0 aliases the primary memory/evictor). With
+  /// this unset (the default) every path below is the single-GPU servicer,
+  /// bit-identical to the pre-topology driver.
+  void set_multi_gpu(const Topology* topo, std::vector<GpuMemCtx> ctx) {
+    topo_ = topo;
+    gpu_ctx_ = std::move(ctx);
+  }
+
   std::uint64_t total_evictions() const noexcept { return total_evictions_; }
 
  private:
   /// Retryable hook sites on the fault path.
   enum class RetrySite : std::uint8_t { kTransfer, kDmaMap };
+
+  bool multi_gpu() const noexcept { return !gpu_ctx_.empty(); }
+  GpuMemory& memory_of(std::uint32_t gpu) {
+    return gpu_ctx_.empty() ? memory_ : *gpu_ctx_[gpu].memory;
+  }
+  Evictor& evictor_of(std::uint32_t gpu) {
+    return gpu_ctx_.empty() ? evictor_ : *gpu_ctx_[gpu].evictor;
+  }
+
+  /// Peer-owned block faulted by `gpu`: decide remote-map vs. migrate and
+  /// apply it. Returns true when the faulted pages were remote-mapped
+  /// (service complete for this batch — the caller finishes the block).
+  bool service_peer_block(std::uint32_t gpu, VaBlockId id,
+                          VaBlockState& block,
+                          const VaBlockState::PageMask& faulted,
+                          BatchRecord& record);
 
   /// Run the injector's schedule for one retryable operation: each failed
   /// attempt charges exponential backoff into `record`; returns false when
@@ -113,10 +140,16 @@ class FaultServicer {
 
   /// Make sure `block` has a GPU chunk, evicting victims as needed.
   /// Returns true if the chunk was allocated by this call (fresh chunk:
-  /// population applies to every target page).
-  bool ensure_chunk(VaBlockId id, VaBlockState& block, BatchRecord& record);
+  /// population applies to every target page). In multi-GPU runs `gpu`
+  /// is the faulting GPU: the chunk lands there, or — kPeerFirst under
+  /// local pressure with a sparse batch (`target_pages` below the
+  /// migrate threshold) — in the cheapest NVLink peer with room. A dense
+  /// batch always allocates locally: parking bulk data behind remote
+  /// PTEs would tax every subsequent access with a fabric crossing.
+  bool ensure_chunk(std::uint32_t gpu, VaBlockId id, VaBlockState& block,
+                    BatchRecord& record, std::uint32_t target_pages = 0);
 
-  void evict_one(VaBlockId protect, BatchRecord& record);
+  void evict_one(std::uint32_t gpu, VaBlockId protect, BatchRecord& record);
 
   /// kPin mitigation: write any resident pages back, release the chunk,
   /// and mark the block host-pinned; its accesses resolve remotely.
@@ -145,6 +178,8 @@ class FaultServicer {
   RecoveryManager* recovery_ = nullptr;  // may be null (no fatal faults)
   Obs obs_;                          // null members = no recording
   ShardExecutor* shard_exec_ = nullptr;  // not owned; null = serial dedup
+  const Topology* topo_ = nullptr;   // not owned; null = single-GPU
+  std::vector<GpuMemCtx> gpu_ctx_;   // empty = single-GPU legacy paths
   std::uint64_t total_evictions_ = 0;
 };
 

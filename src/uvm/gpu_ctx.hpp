@@ -1,0 +1,19 @@
+// Per-GPU memory context handed to the servicers in multi-GPU runs.
+//
+// Chunk ids are scoped to one GpuMemory, and eviction order is tracked
+// per GPU, so every placement decision addresses (memory, evictor) pairs
+// through this view. GPU 0's context aliases the driver's primary
+// members; GPUs 1..N-1 get dedicated instances.
+#pragma once
+
+#include "gpu/gpu_memory.hpp"
+#include "uvm/eviction.hpp"
+
+namespace uvmsim {
+
+struct GpuMemCtx {
+  GpuMemory* memory = nullptr;
+  Evictor* evictor = nullptr;
+};
+
+}  // namespace uvmsim

@@ -12,6 +12,10 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
       obs_(obs),
       memory_(gpu_memory_bytes),
       pcie_(pcie),
+      topo_(TopologyConfig{config_.multi_gpu.topology,
+                           config_.multi_gpu.num_gpus,
+                           config_.multi_gpu.nvlink},
+            pcie),
       copy_(pcie_),
       dma_(config_.dma),
       evictor_(config_.evict_policy == EvictPolicy::kLru ? Evictor::Policy::kLru
@@ -26,6 +30,23 @@ UvmDriver::UvmDriver(DriverConfig config, std::uint64_t gpu_memory_bytes,
   copy_.set_obs(obs_);
   dma_.set_obs(obs_);
   servicer_.set_recovery(&recovery_);
+  if (config_.multi_gpu.active()) {
+    // Multi-GPU: route every transfer through the topology graph and give
+    // each peer GPU its own HBM pool + eviction state. GPU 0 aliases the
+    // primary memory_/evictor_ so all existing accessors stay truthful.
+    copy_.set_topology(&topo_);
+    const Evictor::Policy policy = config_.evict_policy == EvictPolicy::kLru
+                                       ? Evictor::Policy::kLru
+                                       : Evictor::Policy::kFifo;
+    gpu_ctx_.push_back(GpuMemCtx{&memory_, &evictor_});
+    for (std::uint32_t g = 1; g < config_.multi_gpu.num_gpus; ++g) {
+      peer_ctx_.push_back(std::make_unique<PeerCtx>(gpu_memory_bytes, policy));
+      gpu_ctx_.push_back(
+          GpuMemCtx{&peer_ctx_.back()->memory, &peer_ctx_.back()->evictor});
+    }
+    servicer_.set_multi_gpu(&topo_, gpu_ctx_);
+    counter_servicer_.set_multi_gpu(&topo_, gpu_ctx_);
+  }
 }
 
 const AllocationInfo& UvmDriver::managed_alloc(std::uint64_t bytes,
@@ -170,6 +191,10 @@ void UvmDriver::record_batch_metrics(const BatchRecord& record) {
   m->add("driver.ctr_pages_promoted", c.ctr_pages_promoted);
   m->add("driver.ctr_unpins", c.ctr_unpins);
   m->add("driver.ctr_evictions", c.ctr_evictions);
+  m->add("driver.peer_pages_migrated", c.peer_pages_migrated);
+  m->add("driver.bytes_peer", c.bytes_peer);
+  m->add("driver.peer_maps", c.peer_maps);
+  m->add("driver.peer_placements", c.peer_placements);
 
   // Every phase timer, as accumulated ns. Same contract as the counters.
   const BatchPhaseTimes& p = record.phases;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "gpu/access_counters.hpp"
@@ -17,12 +18,14 @@
 #include "hostos/dma.hpp"
 #include "interconnect/copy_engine.hpp"
 #include "interconnect/pcie.hpp"
+#include "interconnect/topology.hpp"
 #include "obs/obs.hpp"
 #include "uvm/batch.hpp"
 #include "uvm/counter_servicer.hpp"
 #include "uvm/driver_config.hpp"
 #include "uvm/eviction.hpp"
 #include "uvm/fault_servicer.hpp"
+#include "uvm/gpu_ctx.hpp"
 #include "uvm/recovery.hpp"
 #include "uvm/va_space.hpp"
 
@@ -108,11 +111,51 @@ class UvmDriver final : public ResidencyOracle {
     return space_.all_gpu_resident(base, bits, words);
   }
 
+  /// Per-GPU page-table view for multi-GPU runs: a resident page is local
+  /// only to the owner GPU; peers that hold a remote NVLink mapping into
+  /// the owner's HBM resolve it remotely; everyone else faults. The
+  /// non-resident tail matches classify(). GPU 0 with num_gpus = 1 is
+  /// exactly classify().
+  PageLocation classify_for(std::uint32_t gpu, PageId page) const {
+    if (space_.is_gpu_resident(page)) {
+      const VaBlockState& b = space_.block(va_block_of(page));
+      if (b.owner_gpu() == gpu) return PageLocation::kGpuResident;
+      if (b.peer_mapped(gpu) &&
+          b.peer_pages().test(page_index_in_block(page))) {
+        return PageLocation::kRemoteMapped;
+      }
+      return PageLocation::kFaultRequired;
+    }
+    if (space_.any_retired() && space_.is_page_retired(page)) {
+      return PageLocation::kRemoteMapped;
+    }
+    if (space_.advise_of(page) == MemAdvise::kPreferredLocationHost) {
+      return PageLocation::kRemoteMapped;
+    }
+    if (thrash_.enabled() &&
+        thrash_.is_pinned(va_block_of(page), clock_ns_)) {
+      return PageLocation::kRemoteMapped;
+    }
+    return PageLocation::kFaultRequired;
+  }
+
+  bool is_resident_for(std::uint32_t gpu, PageId page) const {
+    return space_.is_gpu_resident_on(gpu, page);
+  }
+
   const DriverConfig& config() const noexcept { return config_; }
   VaSpace& va_space() noexcept { return space_; }
   const VaSpace& va_space() const noexcept { return space_; }
   GpuMemory& gpu_memory() noexcept { return memory_; }
   const GpuMemory& gpu_memory() const noexcept { return memory_; }
+  const Topology& topology() const noexcept { return topo_; }
+  Topology& topology() noexcept { return topo_; }
+  std::uint32_t num_gpus() const noexcept {
+    return config_.multi_gpu.num_gpus;
+  }
+  const GpuMemory& gpu_memory_of(std::uint32_t gpu) const {
+    return gpu_ctx_.empty() ? memory_ : *gpu_ctx_.at(gpu).memory;
+  }
   const DmaMapper& dma() const noexcept { return dma_; }
   PcieLink& pcie() noexcept { return pcie_; }
   const CopyEngine& copy_engine() const noexcept { return copy_; }
@@ -164,11 +207,21 @@ class UvmDriver final : public ResidencyOracle {
   /// and per-batch shape distributions as histograms.
   void record_batch_metrics(const BatchRecord& record);
 
+  /// One peer GPU's memory context (GPUs 1..N-1; GPU 0 uses the primary
+  /// memory_/evictor_ so single-GPU state is untouched by the feature).
+  struct PeerCtx {
+    PeerCtx(std::uint64_t bytes, Evictor::Policy policy)
+        : memory(bytes), evictor(policy) {}
+    GpuMemory memory;
+    Evictor evictor;
+  };
+
   DriverConfig config_;
   Obs obs_;
   VaSpace space_;
   GpuMemory memory_;
   PcieLink pcie_;
+  Topology topo_;
   CopyEngine copy_;
   DmaMapper dma_;
   Evictor evictor_;
@@ -177,6 +230,8 @@ class UvmDriver final : public ResidencyOracle {
   FaultServicer servicer_;
   CounterServicer counter_servicer_;
   AccessCounterUnit* counters_ = nullptr;  // not owned; null = disabled
+  std::vector<std::unique_ptr<PeerCtx>> peer_ctx_;  // GPUs 1..N-1
+  std::vector<GpuMemCtx> gpu_ctx_;  // empty = single-GPU (the default)
   BatchLog log_;
   SimTime total_batch_ns_ = 0;
   SimTime async_ns_ = 0;

@@ -101,9 +101,49 @@ class VaBlockState {
     }
     gpu_resident_.reset();
     chunk_.reset();
+    owner_gpu_ = 0;
+    peer_map_mask_ = 0;
+    peer_pages_.reset();
     ++residency_epoch_;
     return moved;
   }
+
+  // -- Multi-GPU placement ---------------------------------------------------
+  // Which GPU's HBM holds the block's chunk (chunk ids are scoped to the
+  // owner's GpuMemory), and which other GPUs hold remote page-table
+  // mappings into it over the fabric. Single-GPU runs never touch these:
+  // owner stays 0 and the peer mask stays empty.
+  std::uint32_t owner_gpu() const noexcept { return owner_gpu_; }
+  void set_owner_gpu(std::uint32_t gpu) noexcept {
+    owner_gpu_ = gpu;
+    ++residency_epoch_;
+  }
+  bool peer_mapped(std::uint32_t gpu) const noexcept {
+    return (peer_map_mask_ >> gpu) & 1u;
+  }
+  void add_peer_map(std::uint32_t gpu) noexcept {
+    peer_map_mask_ |= 1ull << gpu;
+  }
+  void clear_peer_maps() noexcept {
+    peer_map_mask_ = 0;
+    peer_pages_.reset();
+  }
+  std::uint64_t peer_map_mask() const noexcept { return peer_map_mask_; }
+
+  /// Remote mappings are page-granular: only pages in this mask resolve
+  /// over the fabric for a peer-mapped GPU; the rest still fault, so a
+  /// dense accessor keeps building fault pressure and crosses the
+  /// peer-migrate threshold instead of being frozen behind a block-wide
+  /// mapping made on its first sparse batch.
+  const PageMask& peer_pages() const noexcept { return peer_pages_; }
+  void add_peer_pages(const PageMask& pages) noexcept {
+    peer_pages_ |= pages;
+  }
+
+  /// Last GPU whose faults this block serviced — the access-counter
+  /// promotion pass uses it as the best-placed target hint.
+  std::uint32_t last_gpu() const noexcept { return last_gpu_; }
+  void set_last_gpu(std::uint32_t gpu) noexcept { last_gpu_ = gpu; }
 
   // -- GPU backing chunk ---------------------------------------------------
   std::optional<GpuMemory::ChunkId> chunk() const noexcept { return chunk_; }
@@ -135,6 +175,10 @@ class VaBlockState {
   CpuThreadMask cpu_sharers_ = 0;
   std::uint64_t residency_epoch_ = 0;
   std::optional<GpuMemory::ChunkId> chunk_;
+  std::uint32_t owner_gpu_ = 0;
+  std::uint32_t last_gpu_ = 0;
+  std::uint64_t peer_map_mask_ = 0;  // bit g: GPU g remote-maps the block
+  PageMask peer_pages_;              // pages with remote PTEs on peers
   bool dma_mapped_ = false;
   bool ever_on_gpu_ = false;
 };

@@ -23,7 +23,9 @@
 #include "analysis/table.hpp"
 #include "analysis/tenant_report.hpp"
 #include "core/multi_client.hpp"
+#include "core/multi_gpu.hpp"
 #include "core/system.hpp"
+#include "workloads/peer_share.hpp"
 #include "workloads/tenant_mix.hpp"
 #include "workloads/workload.hpp"
 
@@ -151,6 +153,11 @@ int cmd_list() {
               "--tenant-mix mixed|uniform --tenant-kb N --tenant-table "
               "--tenant-log FILE (fairness ledger; feed to analyze) "
               "--check-fairness ERR%%,JAIN (exit 5 on violation)\n");
+  std::printf("multi-GPU topology: --gpus N --topology "
+              "pcie|nvlink-ring|nvlink-all --placement peer|host "
+              "--private-kb N --shared-kb N --passes N (peer-share "
+              "workload; prints per-link utilization; incompatible with "
+              "--tenants; --topology/--placement require --gpus)\n");
   std::printf("analyze: --phases (per-phase distribution) --json "
               "(machine-readable summary incl. counter_stats and "
               "recovery_stats; tenant logs yield tenant_stats with "
@@ -300,6 +307,101 @@ int run_tenants(const Args& args, SystemConfig cfg) {
                 "jain=%.4f >= %.4f\n",
                 report.max_abs_share_error * 100.0, max_err_pct,
                 report.jain_index, min_jain);
+  }
+  return 0;
+}
+
+/// `run --gpus N ...`: the multi-GPU topology path. One driver, N GPU
+/// engines over the configured interconnect, peer-share workload.
+int run_multi_gpu(const Args& args, SystemConfig cfg) {
+  const auto n = static_cast<std::uint32_t>(args.get_u64("gpus", 2));
+  if (n == 0) {
+    std::fprintf(stderr, "--gpus wants at least 1 GPU\n");
+    return 2;
+  }
+  TopologyKind kind = TopologyKind::kPcieOnly;
+  const std::string topo = args.get("topology", "pcie");
+  if (topo == "nvlink-ring") {
+    kind = TopologyKind::kNvlinkRing;
+  } else if (topo == "nvlink-all") {
+    kind = TopologyKind::kNvlinkAll;
+  } else if (topo != "pcie") {
+    std::fprintf(stderr, "unknown --topology '%s' "
+                 "(pcie|nvlink-ring|nvlink-all)\n", topo.c_str());
+    return 2;
+  }
+  if (kind != TopologyKind::kPcieOnly && n < 2) {
+    std::fprintf(stderr,
+                 "--topology %s needs --gpus >= 2 (no peers to link)\n",
+                 topo.c_str());
+    return 2;
+  }
+  PlacementPolicy placement = PlacementPolicy::kPeerFirst;
+  if (const std::string p = args.get("placement", "peer"); p == "host") {
+    placement = PlacementPolicy::kEvictHost;
+  } else if (p != "peer") {
+    std::fprintf(stderr, "unknown --placement '%s' (peer|host)\n", p.c_str());
+    return 2;
+  }
+  cfg.driver.multi_gpu.num_gpus = n;
+  cfg.driver.multi_gpu.topology = kind;
+  cfg.driver.multi_gpu.placement = placement;
+
+  PeerShareParams params;
+  params.num_gpus = n;
+  params.private_kb_per_gpu = args.get_u64("private-kb", 512);
+  params.shared_kb = args.get_u64("shared-kb", 256);
+  params.sweeps = static_cast<std::uint32_t>(args.get_u64("passes", 1));
+
+  MultiGpuSystem system(cfg);
+  const MultiGpuResult result = system.run(make_peer_share(params));
+  const RunResult& agg = result.aggregate;
+
+  std::printf("gpus=%u topology=%s placement=%s makespan_ms=%.3f "
+              "batches=%zu faults=%llu evictions=%llu h2d_mb=%.1f "
+              "d2h_mb=%.1f peer_mb=%.1f peer_migrated=%llu peer_maps=%llu "
+              "peer_placements=%llu\n",
+              n, topo.c_str(), args.get("placement", "peer").c_str(),
+              result.makespan_ns / 1e6, agg.log.size(),
+              static_cast<unsigned long long>(agg.total_faults),
+              static_cast<unsigned long long>(agg.evictions),
+              static_cast<double>(agg.bytes_h2d) / (1 << 20),
+              static_cast<double>(agg.bytes_d2h) / (1 << 20),
+              static_cast<double>(result.bytes_peer) / (1 << 20),
+              static_cast<unsigned long long>(result.peer_pages_migrated),
+              static_cast<unsigned long long>(result.peer_maps),
+              static_cast<unsigned long long>(result.peer_placements));
+  for (std::uint32_t g = 0; g < n; ++g) {
+    std::printf("  gpu%u kernel_ms=%.3f\n", g,
+                result.per_gpu_kernel_ns[g] / 1e6);
+  }
+  std::printf("%-24s %8s %10s %8s %12s %6s\n", "link", "kind", "mb", "ops",
+              "busy_ms", "util%");
+  for (const auto& link : result.links) {
+    std::printf("%-24s %8s %10.1f %8llu %12.3f %6.1f\n", link.name.c_str(),
+                link.kind == LinkKind::kNvlink ? "nvlink" : "pcie",
+                static_cast<double>(link.bytes) / (1 << 20),
+                static_cast<unsigned long long>(link.ops),
+                link.busy_ns / 1e6, link.utilization * 100.0);
+  }
+  if (args.flag("engine-stats")) {
+    const auto& es = system.engine_stats();
+    std::printf("engine: events=%llu posted=%llu cancelled=%llu "
+                "idle_skipped_ms=%.3f max_queue=%zu\n",
+                static_cast<unsigned long long>(es.executed),
+                static_cast<unsigned long long>(es.posted),
+                static_cast<unsigned long long>(es.cancelled),
+                es.idle_ns_skipped / 1e6, es.max_queue_depth);
+  }
+  if (const std::string path = args.get("log", ""); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 3;
+    }
+    write_batch_log(out, agg.log);
+    std::printf("batch log written to %s (%zu records)\n", path.c_str(),
+                agg.log.size());
   }
   return 0;
 }
@@ -472,6 +574,25 @@ int cmd_run(const Args& args) {
       alloc.advise = MemAdvise::kPreferredLocationHost;
     }
   }
+
+  // Multi-GPU topology mode (--gpus): validate flag combinations up
+  // front so inconsistent invocations fail loudly instead of silently
+  // running something else.
+  if (args.flag("topology") && !args.flag("gpus")) {
+    std::fprintf(stderr, "--topology requires --gpus N\n");
+    return 2;
+  }
+  if (args.flag("placement") && !args.flag("gpus")) {
+    std::fprintf(stderr, "--placement requires --gpus N\n");
+    return 2;
+  }
+  if (args.flag("gpus") && args.flag("tenants")) {
+    std::fprintf(stderr,
+                 "--gpus and --tenants are mutually exclusive (one multi-GPU "
+                 "node vs many single-GPU tenants)\n");
+    return 2;
+  }
+  if (args.flag("gpus")) return run_multi_gpu(args, cfg);
 
   // Multi-tenant server mode: same config flags, N-workload roster,
   // MultiClientSystem instead of System.
